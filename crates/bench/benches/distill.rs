@@ -1,0 +1,51 @@
+//! Benchmarks of real-mode distillation fine-tuning: one epoch of the
+//! ℓ1 teacher-matching objective on a small fused model — the unit of
+//! cost the predictive filters exist to save.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmorph::graph::{generator, parser};
+use gmorph::perf::accuracy::{finetune, teacher_targets, FinetuneConfig};
+use gmorph::prelude::*;
+
+fn bench_distillation_epoch(c: &mut Criterion) {
+    let bench = build_benchmark(BenchId::B1, &DataProfile::smoke(), 5).unwrap();
+    let mut rng = Rng::new(5);
+    let split = bench.dataset.split(0.75, &mut rng).unwrap();
+    let mut teachers: Vec<_> = bench
+        .mini
+        .iter()
+        .map(|s| s.build(&mut rng).unwrap())
+        .collect();
+    let (graph, store) = parser::parse_models(&teachers).unwrap();
+    let targets = teacher_targets(&mut teachers, &split.train.inputs).unwrap();
+    let teacher_scores = vec![0.6f32, 0.9, 0.8];
+    let cfg = FinetuneConfig {
+        max_epochs: 1,
+        eval_every: 1,
+        target_drop: -1.0,
+        lr: 1e-3,
+        batch: 32,
+        ..Default::default()
+    };
+    c.bench_function("distill-1epoch-B1-smoke", |b| {
+        b.iter(|| {
+            let (mut tree, _) = generator::generate(&graph, &store, &mut rng).unwrap();
+            finetune(
+                &mut tree,
+                &split.train.inputs,
+                &targets,
+                &split.test,
+                &teacher_scores,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_distillation_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of the graph machinery: pair enumeration, mutation passes,
+//! capacity vectors, and model generation — the per-iteration overheads
+//! of the search loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmorph::graph::pairs::{pairs_with, shareable_pairs, PairPolicy};
+use gmorph::graph::{generator, mutation, parser, CapacityVector};
+use gmorph::prelude::*;
+use std::hint::black_box;
+
+fn b3_graph() -> AbsGraph {
+    let bench = build_benchmark(BenchId::B3, &DataProfile::smoke(), 1).unwrap();
+    parser::parse_specs(&bench.mini).unwrap()
+}
+
+fn bench_pairs(c: &mut Criterion) {
+    let g = b3_graph();
+    c.bench_function("shareable_pairs-B3", |b| {
+        b.iter(|| shareable_pairs(black_box(&g)).unwrap())
+    });
+    c.bench_function("any_pairs-B3", |b| {
+        b.iter(|| pairs_with(black_box(&g), PairPolicy::AnyShape).unwrap())
+    });
+}
+
+fn bench_mutation_pass(c: &mut Criterion) {
+    let g = b3_graph();
+    let pairs = shareable_pairs(&g).unwrap();
+    let chosen = [pairs[0], pairs[pairs.len() / 2]];
+    c.bench_function("mutation_pass-2ops-B3", |b| {
+        b.iter(|| mutation::mutation_pass(black_box(&g), black_box(&chosen)).unwrap())
+    });
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let g = b3_graph();
+    c.bench_function("capacity_vector-B3", |b| {
+        b.iter(|| CapacityVector::of(black_box(&g)).unwrap())
+    });
+    c.bench_function("signature-B3", |b| b.iter(|| black_box(&g).signature()));
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut rng = Rng::new(0);
+    let bench = build_benchmark(BenchId::B3, &DataProfile::smoke(), 1).unwrap();
+    let teachers: Vec<_> = bench
+        .mini
+        .iter()
+        .map(|s| s.build(&mut rng).unwrap())
+        .collect();
+    let (g, store) = parser::parse_models(&teachers).unwrap();
+    c.bench_function("generate-with-inheritance-B3", |b| {
+        b.iter(|| {
+            let mut r = Rng::new(7);
+            generator::generate(black_box(&g), black_box(&store), &mut r).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pairs, bench_mutation_pass, bench_capacity, bench_generate
+}
+criterion_main!(benches);

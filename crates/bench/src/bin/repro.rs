@@ -1,0 +1,109 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p gmorph-bench --release --bin repro -- <experiment> [options]
+//!
+//! experiments:
+//!   fig1 fig2 fig3 fig7 fig8 fig9 table3 table4 table5 table6 ablations batched all
+//!
+//! options:
+//!   --seed <u64>          experiment seed        (default 1)
+//!   --iters <usize>       search rounds per cell (default 200)
+//!   --mode real|surrogate accuracy estimation    (default surrogate)
+//!   --out <dir>           CSV output directory   (default results/)
+//!   --quick               shrink sample counts for smoke runs
+//! ```
+
+use gmorph::prelude::AccuracyMode;
+use gmorph_bench::experiments;
+use gmorph_bench::ExperimentOpts;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<(Vec<String>, ExperimentOpts), String> {
+    let mut opts = ExperimentOpts::default();
+    let mut exps = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a u64")?;
+            }
+            "--iters" => {
+                opts.iterations = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--iters needs a usize")?;
+            }
+            "--mode" => {
+                opts.mode = match args.next().as_deref() {
+                    Some("real") => AccuracyMode::Real,
+                    Some("surrogate") => AccuracyMode::Surrogate,
+                    other => return Err(format!("unknown mode {other:?}")),
+                };
+            }
+            "--out" => {
+                opts.out_dir = args.next().ok_or("--out needs a path")?.into();
+            }
+            "--quick" => opts.quick = true,
+            other if !other.starts_with('-') => exps.push(other.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if exps.is_empty() {
+        return Err("no experiment named; try `repro all` or see --help".to_string());
+    }
+    Ok((exps, opts))
+}
+
+fn run_one(name: &str, opts: &ExperimentOpts) -> Result<(), String> {
+    println!("\n######## {name} ########");
+    let started = std::time::Instant::now();
+    let result = match name {
+        "fig1" => experiments::fig1::run(opts),
+        "fig2" => experiments::fig2::run(opts),
+        "fig3" => experiments::fig3::run(opts),
+        // fig7 also regenerates Tables 5, 7, 8, 9 (same search grid).
+        "fig7" | "table5" | "table7" | "table8" | "table9" => experiments::fig7::run(opts),
+        "fig8" => experiments::fig8::run(opts),
+        "fig9" => experiments::fig9::run(opts),
+        "table3" => experiments::table3::run(opts),
+        "table4" => experiments::table4::run(opts),
+        "table6" => experiments::table6::run(opts),
+        "ablations" => experiments::ablations::run(opts),
+        "batched" => experiments::batched::run(opts),
+        other => return Err(format!("unknown experiment {other}")),
+    };
+    result.map_err(|e| format!("{name} failed: {e}"))?;
+    println!("[{name} done in {:.1}s]", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (exps, opts) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: repro <fig1|fig2|fig3|fig7|fig8|fig9|table3|table4|table5|table6|ablations|all> [--seed N] [--iters N] [--mode real|surrogate] [--out dir] [--quick]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let all = [
+        "table6", "fig1", "fig2", "fig3", "fig7", "fig8", "table3", "table4", "fig9",
+        "ablations", "batched",
+    ];
+    let to_run: Vec<String> = if exps.iter().any(|e| e == "all") {
+        all.iter().map(|s| s.to_string()).collect()
+    } else {
+        exps
+    };
+    for name in &to_run {
+        if let Err(e) = run_one(name, &opts) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

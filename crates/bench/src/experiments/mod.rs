@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod batched;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+pub mod table4;
+pub mod table6;

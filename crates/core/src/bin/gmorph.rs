@@ -1,0 +1,236 @@
+//! The `gmorph` command-line tool.
+//!
+//! ```text
+//! gmorph optimize --bench B1 [--config FILE] [--threshold 0.01]
+//!                 [--mode real|surrogate] [--iterations N] [--seed N]
+//!                 [--batch-size K] [--render]
+//! gmorph benchmarks
+//! gmorph baselines --bench B1
+//! ```
+//!
+//! `optimize` prepares a benchmark session (training or loading cached
+//! teachers) and runs graph mutation optimization; `--config` reads the
+//! paper-style configuration file (see `gmorph::configfile`), with
+//! command-line flags overriding file values. `--batch-size` switches to
+//! the batched parallel search (§7 extension).
+
+use gmorph::perf::estimator::estimate_latency_ms;
+use gmorph::prelude::*;
+use gmorph::search::batched::run_search_batched;
+use gmorph::{baselines, configfile};
+use std::process::ExitCode;
+
+struct Cli {
+    command: String,
+    bench: Option<BenchId>,
+    config: Option<std::path::PathBuf>,
+    threshold: Option<f32>,
+    mode: Option<AccuracyMode>,
+    iterations: Option<usize>,
+    seed: Option<u64>,
+    batch_size: Option<usize>,
+    render: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut cli = Cli {
+        command,
+        bench: None,
+        config: None,
+        threshold: None,
+        mode: None,
+        iterations: None,
+        seed: None,
+        batch_size: None,
+        render: false,
+    };
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--bench" => {
+                let v = take("--bench")?;
+                cli.bench = Some(BenchId::parse(&v).ok_or(format!("unknown benchmark {v}"))?);
+            }
+            "--config" => cli.config = Some(take("--config")?.into()),
+            "--threshold" => {
+                cli.threshold =
+                    Some(take("--threshold")?.parse().map_err(|_| "bad threshold")?)
+            }
+            "--mode" => {
+                cli.mode = Some(match take("--mode")?.as_str() {
+                    "real" => AccuracyMode::Real,
+                    "surrogate" => AccuracyMode::Surrogate,
+                    other => return Err(format!("unknown mode {other}")),
+                })
+            }
+            "--iterations" => {
+                cli.iterations =
+                    Some(take("--iterations")?.parse().map_err(|_| "bad iterations")?)
+            }
+            "--seed" => cli.seed = Some(take("--seed")?.parse().map_err(|_| "bad seed")?),
+            "--batch-size" => {
+                cli.batch_size =
+                    Some(take("--batch-size")?.parse().map_err(|_| "bad batch size")?)
+            }
+            "--render" => cli.render = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn cmd_benchmarks() {
+    println!("benchmark  tasks and models (Table 2)");
+    println!("---------  -----------------------------------------------");
+    let rows = [
+        ("B1", "Age/Gender/Ethnicity: 3x VGG-13 (SynthFaces)"),
+        ("B2", "Emotion/Age/Gender: 3x VGG-16 (SynthFaces)"),
+        ("B3", "Emotion/Age/Gender: VGG-13/16/11 (SynthFaces)"),
+        ("B4", "Object: ResNet-34, Salient: ResNet-18 (SynthScenes)"),
+        ("B5", "Object: ResNet-34, Salient: VGG-16 (SynthScenes)"),
+        ("B6", "Object: ViT-Large, Salient: ViT-Base (SynthScenes)"),
+        ("B7", "CoLA: BERT-Large, SST: BERT-Base (SynthText)"),
+    ];
+    for (id, desc) in rows {
+        println!("{id:<9}  {desc}");
+    }
+}
+
+fn cmd_baselines(bench: BenchId, seed: u64) -> gmorph::tensor::Result<()> {
+    let b = build_benchmark(bench, &DataProfile::standard(), seed)?;
+    let prefix = baselines::common_prefix_len(&b.paper);
+    println!("{bench}: identical common prefix = {prefix} blocks");
+    let original = gmorph::graph::parser::parse_specs(&b.paper)?;
+    let orig = estimate_latency_ms(&original, Backend::Eager)?;
+    println!("original latency (paper scale, eager): {orig:.2} ms");
+    let shared = baselines::all_shared(&b.paper)?;
+    let lat = estimate_latency_ms(&shared, Backend::Eager)?;
+    println!("All-shared: {lat:.2} ms ({:.2}x)", orig / lat);
+    if prefix > 0 {
+        let tm = baselines::treemtl_recommend(&b.paper, 0.01)?;
+        let lat = estimate_latency_ms(&tm, Backend::Eager)?;
+        println!("TreeMTL @1%: {lat:.2} ms ({:.2}x)", orig / lat);
+    } else {
+        println!("TreeMTL @1%: not applicable (no identical layers)");
+    }
+    Ok(())
+}
+
+fn cmd_optimize(cli: &Cli) -> Result<(), String> {
+    let bench_id = cli.bench.ok_or("optimize needs --bench")?;
+    let mut cfg = match &cli.config {
+        Some(path) => configfile::load(path).map_err(|e| e.to_string())?,
+        None => OptimizationConfig::default(),
+    };
+    if let Some(t) = cli.threshold {
+        cfg.accuracy_threshold = t;
+    }
+    if let Some(m) = cli.mode {
+        cfg.mode = m;
+    }
+    if let Some(i) = cli.iterations {
+        cfg.iterations = i;
+    }
+    if let Some(s) = cli.seed {
+        cfg.seed = s;
+    }
+
+    println!("preparing {bench_id} (teachers train once, then cache)...");
+    let bench = build_benchmark(bench_id, &DataProfile::standard(), cfg.seed)
+        .map_err(|e| e.to_string())?;
+    let session = Session::prepare(
+        bench,
+        &SessionConfig {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    for (spec, score) in session.bench.mini.iter().zip(&session.teacher_scores) {
+        println!("  teacher {:<28} score {score:.3}", spec.name);
+    }
+
+    println!(
+        "searching: {} iterations, {:?} mode, {:.1}% budget{}...",
+        cfg.iterations,
+        cfg.mode,
+        cfg.accuracy_threshold * 100.0,
+        cli.batch_size
+            .map(|k| format!(", batch size {k}"))
+            .unwrap_or_default()
+    );
+    let (best_mini, latency, orig, speedup, drop) = match cli.batch_size {
+        Some(k) => {
+            let mode = session.eval_mode(cfg.mode).map_err(|e| e.to_string())?;
+            let r = run_search_batched(
+                &session.mini_graph,
+                &session.paper_graph,
+                &session.weights,
+                &mode,
+                &cfg.to_search_config(),
+                k,
+            )
+            .map_err(|e| e.to_string())?;
+            (
+                r.best_mini,
+                r.best_latency_ms,
+                r.original_latency_ms,
+                r.speedup,
+                f32::NAN,
+            )
+        }
+        None => {
+            let r = session.optimize(&cfg).map_err(|e| e.to_string())?;
+            (
+                r.best.mini,
+                r.best.latency_ms,
+                r.original_latency_ms,
+                r.speedup,
+                r.best.drop,
+            )
+        }
+    };
+    println!("original {orig:.2} ms -> fused {latency:.2} ms ({speedup:.2}x)");
+    if drop.is_finite() {
+        println!("accuracy drop: {:.2}%", drop.max(0.0) * 100.0);
+    }
+    if cli.render {
+        println!("\n{}", best_mini.render());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: gmorph <optimize|benchmarks|baselines> [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match cli.command.as_str() {
+        "benchmarks" => {
+            cmd_benchmarks();
+            Ok(())
+        }
+        "baselines" => {
+            let Some(bench) = cli.bench else {
+                eprintln!("error: baselines needs --bench");
+                return ExitCode::FAILURE;
+            };
+            cmd_baselines(bench, cli.seed.unwrap_or(0)).map_err(|e| e.to_string())
+        }
+        "optimize" => cmd_optimize(&cli),
+        other => Err(format!("unknown command {other}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

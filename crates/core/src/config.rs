@@ -1,0 +1,179 @@
+//! The optimization configuration (the paper's "configuration file", §3).
+
+use gmorph_graph::pairs::PairPolicy;
+use gmorph_models::train::TrainConfig;
+use gmorph_perf::accuracy::FinetuneConfig;
+use gmorph_search::driver::{Objective, SearchConfig};
+use gmorph_search::policy::PolicyKind;
+
+/// How candidate accuracy is estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyMode {
+    /// Distillation fine-tuning of the real mini-scale model (§5.2).
+    Real,
+    /// Calibrated analytic surrogate (DESIGN.md §1): used by the large
+    /// experiment grids.
+    Surrogate,
+}
+
+/// Session-level configuration: how teachers are prepared.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Teacher-training hyperparameters.
+    pub teacher: TrainConfig,
+    /// Session seed (teachers, splits, search defaults derive from it).
+    pub seed: u64,
+    /// Train fraction of the dataset split.
+    pub train_frac: f32,
+    /// Use the on-disk teacher cache.
+    pub use_cache: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            teacher: TrainConfig {
+                epochs: 6,
+                batch: 32,
+                lr: 3e-3,
+                seed: 0,
+            },
+            seed: 0,
+            train_frac: 0.75,
+            use_cache: true,
+        }
+    }
+}
+
+/// The graph-mutation optimization configuration.
+///
+/// Mirrors the paper's configuration file: "(1) the metric to be optimized
+/// (i.e., latency or FLOPS) and the acceptable task accuracy threshold,
+/// (2) representative DNN inputs for multi-task model fine-tuning, (3)
+/// testing data and scripts to evaluate task accuracy, (4) optimization
+/// hyperparameters". Items (2) and (3) come from the session's dataset;
+/// this struct carries (1) and (4).
+#[derive(Debug, Clone)]
+pub struct OptimizationConfig {
+    /// Metric to minimize.
+    pub objective: Objective,
+    /// Acceptable accuracy drop (0.0 / 0.01 / 0.02 in the evaluation).
+    pub accuracy_threshold: f32,
+    /// Search rounds (paper: 200).
+    pub iterations: usize,
+    /// Accuracy estimation backend.
+    pub mode: AccuracyMode,
+    /// Sampling policy.
+    pub policy: PolicyKind,
+    /// Enables rule-based filtering ("+R").
+    pub rule_filter: bool,
+    /// Enables predictive early termination ("+P").
+    pub early_termination: bool,
+    /// Pair-enumeration policy (similar shapes by default).
+    pub pair_policy: PairPolicy,
+    /// Maximum fine-tuning epochs per candidate.
+    pub max_epochs: usize,
+    /// Validation cadence in epochs (the paper's δ).
+    pub eval_every: usize,
+    /// Fine-tuning learning rate.
+    pub lr: f32,
+    /// Fine-tuning batch size.
+    pub batch: usize,
+    /// Maximum mutation operations per pass.
+    pub max_ops_per_pass: usize,
+    /// Simulated-annealing cooling constant α.
+    pub sa_alpha: f32,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl Default for OptimizationConfig {
+    fn default() -> Self {
+        OptimizationConfig {
+            objective: Objective::Latency,
+            accuracy_threshold: 0.01,
+            iterations: 24,
+            mode: AccuracyMode::Surrogate,
+            policy: PolicyKind::SimulatedAnnealing,
+            rule_filter: false,
+            early_termination: false,
+            pair_policy: PairPolicy::SimilarShape,
+            max_epochs: 10,
+            eval_every: 2,
+            lr: 1e-3,
+            batch: 32,
+            max_ops_per_pass: 2,
+            sa_alpha: 0.99,
+            seed: 0,
+        }
+    }
+}
+
+impl OptimizationConfig {
+    /// Lowers this configuration into the search-driver form.
+    pub fn to_search_config(&self) -> SearchConfig {
+        SearchConfig {
+            iterations: self.iterations,
+            objective: self.objective,
+            policy: self.policy,
+            max_ops_per_pass: self.max_ops_per_pass,
+            sa_alpha: self.sa_alpha,
+            pair_policy: self.pair_policy,
+            rule_filter: self.rule_filter,
+            finetune: FinetuneConfig {
+                max_epochs: self.max_epochs,
+                batch: self.batch,
+                lr: self.lr,
+                eval_every: self.eval_every,
+                target_drop: self.accuracy_threshold,
+                task_weights: Vec::new(),
+                early_termination: self.early_termination,
+                seed: self.seed,
+            },
+            virtual_samples: 20_000,
+            seed: self.seed,
+        }
+    }
+
+    /// The paper's "GMorph w P" variant.
+    pub fn with_p(mut self) -> Self {
+        self.early_termination = true;
+        self
+    }
+
+    /// The paper's "GMorph w P+R" variant.
+    pub fn with_p_r(mut self) -> Self {
+        self.early_termination = true;
+        self.rule_filter = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_set_flags() {
+        let base = OptimizationConfig::default();
+        assert!(!base.early_termination && !base.rule_filter);
+        let p = OptimizationConfig::default().with_p();
+        assert!(p.early_termination && !p.rule_filter);
+        let pr = OptimizationConfig::default().with_p_r();
+        assert!(pr.early_termination && pr.rule_filter);
+    }
+
+    #[test]
+    fn lowering_preserves_fields() {
+        let cfg = OptimizationConfig {
+            accuracy_threshold: 0.02,
+            iterations: 77,
+            max_epochs: 9,
+            ..Default::default()
+        };
+        let sc = cfg.to_search_config();
+        assert_eq!(sc.iterations, 77);
+        assert_eq!(sc.finetune.max_epochs, 9);
+        assert!((sc.finetune.target_drop - 0.02).abs() < 1e-9);
+    }
+}

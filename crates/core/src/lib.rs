@@ -1,0 +1,68 @@
+//! GMorph: accelerating multi-DNN inference via model fusion.
+//!
+//! A from-scratch Rust reproduction of the EuroSys 2024 paper. Given a set
+//! of separately pre-trained, possibly heterogeneous task-specific DNNs
+//! over one input stream, GMorph searches for a single multi-task model
+//! that shares intermediate features across the tasks, cutting inference
+//! latency while holding every task within an accuracy-drop budget.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gmorph::prelude::*;
+//!
+//! // Build benchmark B1 (three VGG-13 face models over one stream).
+//! let bench = gmorph::zoo::build(BenchId::B1, &DataProfile::smoke(), 0).unwrap();
+//! // Train (or load cached) teachers and wire the session.
+//! let session = Session::prepare(bench, &SessionConfig::default()).unwrap();
+//! // Search for a fused model within a 1% accuracy-drop budget.
+//! let cfg = OptimizationConfig {
+//!     accuracy_threshold: 0.01,
+//!     ..OptimizationConfig::default()
+//! };
+//! let result = session.optimize(&cfg).unwrap();
+//! println!("speedup: {:.2}x", result.speedup);
+//! ```
+//!
+//! The crate re-exports the whole stack: `gmorph::tensor` (the CPU tensor
+//! engine), `gmorph::nn` (layers and computation blocks), `gmorph::data`
+//! (synthetic multi-task datasets and metrics), `gmorph::models` (the
+//! model zoo and benchmark registry), `gmorph::graph` (abstract graphs and
+//! mutation — the paper's core contribution), `gmorph::perf` (performance
+//! estimation and predictive filtering), and `gmorph::search` (the
+//! simulated-annealing search driver).
+
+pub mod baselines;
+pub mod config;
+pub mod configfile;
+pub mod session;
+
+pub use config::{AccuracyMode, OptimizationConfig, SessionConfig};
+pub use session::Session;
+
+pub use gmorph_data as data;
+pub use gmorph_graph as graph;
+pub use gmorph_models as models;
+pub use gmorph_nn as nn;
+pub use gmorph_perf as perf;
+pub use gmorph_search as search;
+pub use gmorph_tensor as tensor;
+
+/// Re-export of the benchmark registry for ergonomic access.
+pub use gmorph_models::zoo;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::baselines;
+    pub use crate::config::{AccuracyMode, OptimizationConfig, SessionConfig};
+    pub use crate::session::Session;
+    pub use gmorph_data::{Labels, Metric, MultiTaskDataset, TaskSpec};
+    pub use gmorph_graph::{AbsGraph, CapacityVector, TreeModel, WeightStore};
+    pub use gmorph_models::zoo::{build as build_benchmark, BenchId, DataProfile};
+    pub use gmorph_models::{ModelSpec, SingleTaskModel};
+    pub use gmorph_nn::{Block, BlockSpec, Mode};
+    pub use gmorph_perf::estimator::Backend;
+    pub use gmorph_search::driver::{Objective, SearchResult};
+    pub use gmorph_search::policy::PolicyKind;
+    pub use gmorph_tensor::{rng::Rng, Shape, Tensor};
+}

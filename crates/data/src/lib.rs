@@ -1,0 +1,32 @@
+//! Synthetic multi-task datasets and metrics for the GMorph reproduction.
+//!
+//! The paper evaluates on UTKFace, FER2013, Adience, PASCAL VOC2007, SOS,
+//! CoLA, and SST-2 — none of which are available offline. This crate
+//! substitutes *shared-latent factor models*: each sample is generated from
+//! a latent vector, tasks on the same input stream derive their labels from
+//! overlapping subsets of the latent factors, and the factors are rendered
+//! into the observable input through fixed random bases. That reproduces
+//! the property GMorph exploits — tasks over one stream share learnable
+//! low-level features while keeping task-specific high-level structure —
+//! without the original data.
+//!
+//! Three generators mirror the paper's three applications (Table 1):
+//!
+//! - [`faces`]: age / gender / ethnicity / emotion over rendered "face"
+//!   images (Vision Support; UTKFace, FER2013, Adience),
+//! - [`scenes`]: multi-label object presence (scored with mAP) and salient
+//!   object counting (Lifelogging; VOC2007, SOS),
+//! - [`text`]: grammaticality (Matthews correlation) and sentiment over
+//!   synthetic token streams (General Language Understanding; CoLA, SST-2).
+
+pub mod dataset;
+pub mod faces;
+pub mod metrics;
+pub mod render;
+pub mod scenes;
+pub mod task;
+pub mod text;
+
+pub use dataset::{Labels, MultiTaskDataset, Split};
+pub use metrics::Metric;
+pub use task::{LossKind, TaskSpec};

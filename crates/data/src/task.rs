@@ -1,0 +1,82 @@
+//! Task descriptors.
+
+use crate::metrics::Metric;
+
+/// Training objective for a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Softmax cross-entropy over mutually exclusive classes.
+    CrossEntropy,
+    /// Per-class binary cross-entropy over multi-hot labels.
+    BceMultiLabel,
+}
+
+/// Description of one prediction task in a benchmark.
+///
+/// The paper's optimization config names, for each task, "testing data and
+/// scripts to evaluate task accuracy" (§3); a `TaskSpec` carries that
+/// binding here: the output width, the score metric, and the training loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Human-readable task name, e.g. `"AgeNet"`.
+    pub name: String,
+    /// Number of output logits.
+    pub classes: usize,
+    /// Evaluation metric (higher is better, range `[0, 1]`-ish).
+    pub metric: Metric,
+    /// Training loss for teachers (distillation fine-tuning is ℓ1).
+    pub loss: LossKind,
+}
+
+impl TaskSpec {
+    /// Single-label classification task scored with accuracy.
+    pub fn classification(name: &str, classes: usize) -> Self {
+        TaskSpec {
+            name: name.to_string(),
+            classes,
+            metric: Metric::Accuracy,
+            loss: LossKind::CrossEntropy,
+        }
+    }
+
+    /// Multi-label detection task scored with mean average precision.
+    pub fn multilabel(name: &str, classes: usize) -> Self {
+        TaskSpec {
+            name: name.to_string(),
+            classes,
+            metric: Metric::MeanAp,
+            loss: LossKind::BceMultiLabel,
+        }
+    }
+
+    /// Binary classification scored with Matthews correlation (CoLA-style).
+    pub fn matthews(name: &str) -> Self {
+        TaskSpec {
+            name: name.to_string(),
+            classes: 2,
+            metric: Metric::Matthews,
+            loss: LossKind::CrossEntropy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let c = TaskSpec::classification("AgeNet", 4);
+        assert_eq!(c.classes, 4);
+        assert_eq!(c.metric, Metric::Accuracy);
+        assert_eq!(c.loss, LossKind::CrossEntropy);
+
+        let m = TaskSpec::multilabel("ObjectNet", 6);
+        assert_eq!(m.metric, Metric::MeanAp);
+        assert_eq!(m.loss, LossKind::BceMultiLabel);
+
+        let mt = TaskSpec::matthews("CoLANet");
+        assert_eq!(mt.classes, 2);
+        assert_eq!(mt.metric, Metric::Matthews);
+    }
+}

@@ -1,0 +1,187 @@
+//! Synthetic text dataset (General Language Understanding stand-in).
+//!
+//! Stands in for CoLA (grammatical acceptability, Matthews correlation) and
+//! SST-2 (sentiment, accuracy). Sentences are token sequences over a small
+//! synthetic vocabulary where every word type carries a *syntactic
+//! category* and a *sentiment valence*:
+//!
+//! - the CoLA task labels a sentence grammatical when its categories follow
+//!   a simple alternation grammar (Det-Noun-Verb cycles); corruption swaps
+//!   break the pattern,
+//! - the SST task labels the sign of the summed valence.
+//!
+//! Both tasks read the same token stream, so their early representations
+//! (token identity features) are shareable — mirroring the B7 benchmark
+//! where BERTLarge and BERTBase layers end up shared.
+
+use crate::dataset::{Labels, MultiTaskDataset};
+use crate::task::TaskSpec;
+use gmorph_tensor::rng::Rng;
+use gmorph_tensor::{Result, Tensor};
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct TextConfig {
+    /// Number of samples.
+    pub samples: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Vocabulary size (must be ≥ 12).
+    pub vocab: usize,
+    /// Probability that a sentence is corrupted (ungrammatical).
+    pub corrupt_p: f32,
+}
+
+impl Default for TextConfig {
+    fn default() -> Self {
+        TextConfig {
+            samples: 512,
+            seq_len: 12,
+            vocab: 48,
+            corrupt_p: 0.5,
+        }
+    }
+}
+
+/// Syntactic category of a token id.
+fn category(id: usize) -> usize {
+    id % 3 // 0 = determiner-ish, 1 = noun-ish, 2 = verb-ish.
+}
+
+/// Sentiment valence of a token id: -1, 0, +1 in a fixed pattern.
+fn valence(id: usize) -> i32 {
+    match (id / 3) % 3 {
+        0 => -1,
+        1 => 0,
+        _ => 1,
+    }
+}
+
+/// Generates the text dataset with a CoLANet (Matthews) task and an SSTNet
+/// (accuracy) task, in that order.
+pub fn generate(cfg: &TextConfig, rng: &mut Rng) -> Result<MultiTaskDataset> {
+    if cfg.vocab < 12 {
+        return Err(gmorph_tensor::TensorError::InvalidArgument {
+            op: "text::generate",
+            msg: format!("vocab {} too small (need ≥ 12)", cfg.vocab),
+        });
+    }
+    let mut data = vec![0.0f32; cfg.samples * cfg.seq_len];
+    let mut cola = Vec::with_capacity(cfg.samples);
+    let mut sst = Vec::with_capacity(cfg.samples);
+
+    for s in 0..cfg.samples {
+        // Build a grammatical sentence: categories cycle 0,1,2,0,1,2,...
+        let mut tokens: Vec<usize> = (0..cfg.seq_len)
+            .map(|p| {
+                let want_cat = p % 3;
+                // Sample a token with the desired category.
+                loop {
+                    let id = rng.below(cfg.vocab);
+                    if category(id) == want_cat {
+                        return id;
+                    }
+                }
+            })
+            .collect();
+        let corrupted = rng.coin(cfg.corrupt_p);
+        if corrupted {
+            // Break the grammar by re-rolling a few positions to wrong
+            // categories.
+            let swaps = 2 + rng.below(cfg.seq_len / 3);
+            for _ in 0..swaps {
+                let p = rng.below(cfg.seq_len);
+                let want_cat = p % 3;
+                loop {
+                    let id = rng.below(cfg.vocab);
+                    if category(id) != want_cat {
+                        tokens[p] = id;
+                        break;
+                    }
+                }
+            }
+        }
+        let val: i32 = tokens.iter().map(|&t| valence(t)).sum();
+        for (p, &t) in tokens.iter().enumerate() {
+            data[s * cfg.seq_len + p] = t as f32;
+        }
+        cola.push(usize::from(!corrupted));
+        sst.push(usize::from(val > 0));
+    }
+
+    let inputs = Tensor::from_vec(&[cfg.samples, cfg.seq_len], data)?;
+    let tasks = vec![
+        TaskSpec::matthews("CoLANet"),
+        TaskSpec::classification("SSTNet", 2),
+    ];
+    let labels = vec![Labels::Classes(cola), Labels::Classes(sst)];
+    MultiTaskDataset::new(inputs, tasks, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_token_ranges() {
+        let mut rng = Rng::new(0);
+        let cfg = TextConfig {
+            samples: 32,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, &mut rng).unwrap();
+        assert_eq!(ds.inputs.dims(), &[32, 12]);
+        for &v in ds.inputs.data() {
+            assert!(v >= 0.0 && (v as usize) < cfg.vocab);
+            assert_eq!(v.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn grammatical_sentences_follow_pattern() {
+        let mut rng = Rng::new(1);
+        let cfg = TextConfig {
+            samples: 64,
+            corrupt_p: 0.0,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, &mut rng).unwrap();
+        let labels = match &ds.labels[0] {
+            Labels::Classes(v) => v.clone(),
+            _ => panic!(),
+        };
+        assert!(labels.iter().all(|&l| l == 1));
+        for s in 0..64 {
+            for p in 0..cfg.seq_len {
+                let id = ds.inputs.data()[s * cfg.seq_len + p] as usize;
+                assert_eq!(category(id), p % 3);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_vocab() {
+        let cfg = TextConfig {
+            vocab: 6,
+            ..Default::default()
+        };
+        assert!(generate(&cfg, &mut Rng::new(0)).is_err());
+    }
+
+    #[test]
+    fn both_labels_have_both_classes() {
+        let mut rng = Rng::new(2);
+        let cfg = TextConfig {
+            samples: 128,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, &mut rng).unwrap();
+        for labels in &ds.labels {
+            let v = match labels {
+                Labels::Classes(v) => v,
+                _ => panic!(),
+            };
+            assert!(v.contains(&0) && v.contains(&1));
+        }
+    }
+}

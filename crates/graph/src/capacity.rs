@@ -1,0 +1,145 @@
+//! Capacity vectors and the aggressiveness partial order (§5.1).
+//!
+//! Rule-based filtering rests on comparing how *aggressive* two candidate
+//! models are in feature sharing. The paper's rule: a mutated abs-graph is
+//! more aggressive than another if it has (1) fewer total capacity, (2)
+//! fewer total capacity for each task, (3) fewer task-specific capacity
+//! for each task, and (4) more shared capacity between tasks.
+
+use crate::absgraph::AbsGraph;
+use gmorph_tensor::Result;
+
+/// Capacity summary of a multi-task model candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityVector {
+    /// Total parameters in the model.
+    pub total: usize,
+    /// Parameters on each task's root-to-head path (shared nodes count for
+    /// every task they serve).
+    pub per_task_total: Vec<usize>,
+    /// Parameters in nodes serving *only* that task.
+    pub per_task_specific: Vec<usize>,
+    /// Parameters in nodes serving two or more tasks.
+    pub shared: usize,
+}
+
+impl CapacityVector {
+    /// Computes the capacity vector of an abstract graph.
+    pub fn of(graph: &AbsGraph) -> Result<CapacityVector> {
+        let serving = graph.serving_tasks()?;
+        let n_tasks = graph.tasks.len();
+        let mut per_task_total = vec![0usize; n_tasks];
+        let mut per_task_specific = vec![0usize; n_tasks];
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for (id, node) in graph.iter() {
+            total += node.capacity;
+            let served = serving.get(&id).map(|v| v.as_slice()).unwrap_or(&[]);
+            for &t in served {
+                per_task_total[t] += node.capacity;
+            }
+            match served.len() {
+                1 => per_task_specific[served[0]] += node.capacity,
+                n if n >= 2 => shared += node.capacity,
+                _ => {}
+            }
+        }
+        Ok(CapacityVector {
+            total,
+            per_task_total,
+            per_task_specific,
+            shared,
+        })
+    }
+
+    /// The paper's partial order: true when `self` shares features at
+    /// least as aggressively as `other` in every component, and strictly
+    /// more in at least one.
+    pub fn more_aggressive_than(&self, other: &CapacityVector) -> bool {
+        if self.per_task_total.len() != other.per_task_total.len() {
+            return false;
+        }
+        let all_leq = self.total <= other.total
+            && self
+                .per_task_total
+                .iter()
+                .zip(&other.per_task_total)
+                .all(|(a, b)| a <= b)
+            && self
+                .per_task_specific
+                .iter()
+                .zip(&other.per_task_specific)
+                .all(|(a, b)| a <= b)
+            && self.shared >= other.shared;
+        let strict = self.total < other.total || self.shared > other.shared;
+        all_leq && strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(total: usize, tt: Vec<usize>, ts: Vec<usize>, shared: usize) -> CapacityVector {
+        CapacityVector {
+            total,
+            per_task_total: tt,
+            per_task_specific: ts,
+            shared,
+        }
+    }
+
+    #[test]
+    fn strictly_smaller_everywhere_is_more_aggressive() {
+        let a = cv(80, vec![50, 60], vec![20, 30], 30);
+        let b = cv(100, vec![60, 70], vec![40, 50], 20);
+        assert!(a.more_aggressive_than(&b));
+        assert!(!b.more_aggressive_than(&a));
+    }
+
+    #[test]
+    fn order_is_irreflexive() {
+        let a = cv(80, vec![50], vec![20], 30);
+        assert!(!a.more_aggressive_than(&a));
+    }
+
+    #[test]
+    fn incomparable_when_one_task_grows() {
+        let a = cv(90, vec![50, 80], vec![20, 30], 30);
+        let b = cv(100, vec![60, 70], vec![40, 50], 20);
+        // Task 1 total grew: not more aggressive.
+        assert!(!a.more_aggressive_than(&b));
+    }
+
+    #[test]
+    fn less_shared_is_not_more_aggressive() {
+        let a = cv(80, vec![50], vec![20], 10);
+        let b = cv(100, vec![60], vec![40], 20);
+        assert!(!a.more_aggressive_than(&b));
+    }
+
+    #[test]
+    fn mismatched_arity_incomparable() {
+        let a = cv(80, vec![50], vec![20], 30);
+        let b = cv(100, vec![60, 70], vec![40, 50], 20);
+        assert!(!a.more_aggressive_than(&b));
+    }
+
+    #[test]
+    fn order_is_antisymmetric_on_samples() {
+        // Spot-check antisymmetry: a ≻ b implies !(b ≻ a).
+        let samples = vec![
+            cv(80, vec![50, 60], vec![20, 30], 30),
+            cv(100, vec![60, 70], vec![40, 50], 20),
+            cv(100, vec![60, 70], vec![40, 50], 40),
+            cv(70, vec![40, 50], vec![10, 20], 40),
+        ];
+        for a in &samples {
+            for b in &samples {
+                if a.more_aggressive_than(b) {
+                    assert!(!b.more_aggressive_than(a));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Abstract graphs and graph mutation — the paper's primary contribution.
+//!
+//! This crate implements §4 of the paper:
+//!
+//! - [`absgraph`]: the abstract graph data structure (Definition 1) — "a
+//!   tree variant of a DAG" whose root is a placeholder for the shared
+//!   input tensor and whose nodes are computation blocks annotated with
+//!   `(task_id, op_id, op_type, input_shape, capacity, parent, children)`,
+//! - [`parser`]: the Model Parser (§4.2) converting single-task models or a
+//!   trained multi-task model into an abstract graph plus a weight store,
+//! - [`pairs`]: input-shareable node pairs (Definition 2) — nodes whose
+//!   input features share at least one dimension,
+//! - [`mutation`]: the five mutation operations of Figure 5 and the graph
+//!   mutation pass of Figure 6, all expressed through the single primitive
+//!   *make node m reuse node n's input features*,
+//! - [`capacity`]: capacity vectors and the aggressiveness partial order
+//!   that rule-based filtering (§5.1) is built on,
+//! - [`tree`]: the trainable tree-structured multi-task model,
+//! - [`generator`]: the Model Generator (§4.4) materializing a trainable
+//!   model from a mutated graph, inheriting well-trained weights from the
+//!   base candidate and inserting re-scale adapters where shapes differ,
+//! - [`persist`]: saving/loading fused models (graph + weights) to disk —
+//!   the durable half of the History Database.
+
+pub mod absgraph;
+pub mod capacity;
+pub mod generator;
+pub mod mutation;
+pub mod pairs;
+pub mod parser;
+pub mod persist;
+pub mod tree;
+
+pub use absgraph::{AbsGraph, AbsNode, NodeId};
+pub use capacity::CapacityVector;
+pub use mutation::{MutationKind, MutationOutcome};
+pub use parser::WeightStore;
+pub use tree::TreeModel;

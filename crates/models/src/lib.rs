@@ -1,0 +1,23 @@
+//! Model zoo and benchmark registry for the GMorph reproduction.
+//!
+//! Provides the four model families the paper evaluates (VGG-11/13/16,
+//! ResNet-18/34, ViT-Base/Large, BERT-Base/Large) as *scaled* architectures:
+//! every family builder takes a [`families::VisionScale`] /
+//! [`families::SeqScale`], so the same topology can be instantiated at
+//! "mini" scale (trainable on one CPU core) and at "paper" scale (used only
+//! by the analytic FLOPs/latency estimators — weights are never allocated
+//! for it).
+//!
+//! [`zoo`] wires models and synthetic datasets into the seven benchmarks of
+//! Table 2; [`train`] trains task-specific *teacher* models (the
+//! "well-trained DNNs" GMorph takes as input); [`cache`] persists trained
+//! weights so experiments do not retrain teachers.
+
+pub mod cache;
+pub mod families;
+pub mod model;
+pub mod train;
+pub mod zoo;
+
+pub use model::{ModelSpec, SingleTaskModel};
+pub use zoo::{BenchId, BenchmarkDef, DataProfile};

@@ -1,0 +1,180 @@
+//! Trainable 2D convolution layer.
+
+use super::missing_cache;
+use crate::init;
+use crate::param::Parameter;
+use crate::Mode;
+use gmorph_tensor::conv::{conv2d_backward_geom, conv2d_forward, Conv2dForward, Conv2dGeom};
+use gmorph_tensor::rng::Rng;
+use gmorph_tensor::{Result, Tensor, TensorError};
+
+/// A 2D convolution layer over NCHW tensors.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Filter bank `[C_out, C_in, K, K]`.
+    pub weight: Parameter,
+    /// Per-output-channel bias `[C_out]`.
+    pub bias: Parameter,
+    /// Kernel/stride/padding geometry.
+    pub geom: Conv2dGeom,
+    cache: Option<(Conv2dForward, Vec<usize>)>,
+}
+
+impl Conv2d {
+    /// Creates a layer with Kaiming-normal filters and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        let geom = Conv2dGeom::new(kernel, stride, padding)?;
+        let fan_in = in_channels * kernel * kernel;
+        Ok(Conv2d {
+            weight: Parameter::new(init::kaiming_normal(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Parameter::new(Tensor::zeros(&[out_channels])),
+            geom,
+            cache: None,
+        })
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Forward pass over `[N, C_in, H, W]`.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let fwd = conv2d_forward(x, &self.weight.value, Some(&self.bias.value), self.geom)?;
+        let out = fwd.output.clone();
+        if mode == Mode::Train {
+            self.cache = Some((fwd, x.dims().to_vec()));
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates filter/bias gradients and returns dX.
+    pub fn backward(&mut self, grad_y: &Tensor) -> Result<Tensor> {
+        let (fwd, input_dims) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| missing_cache("Conv2d::backward"))?;
+        let grads =
+            conv2d_backward_geom(grad_y, &self.weight.value, input_dims, fwd, self.geom)?;
+        self.weight.accumulate(&grads.grad_weight)?;
+        self.bias.accumulate(&grads.grad_bias)?;
+        Ok(grads.grad_input)
+    }
+
+    /// Output per-sample shape `[C, H, W]` for an input per-sample shape.
+    pub fn out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>> {
+        if in_shape.len() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "Conv2d::out_shape",
+                expected: 3,
+                actual: in_shape.len(),
+            });
+        }
+        if in_shape[0] != self.in_channels() {
+            return Err(TensorError::ShapeMismatch {
+                op: "Conv2d::out_shape",
+                lhs: format!("[{}, _, _]", self.in_channels()),
+                rhs: format!("[{}, {}, {}]", in_shape[0], in_shape[1], in_shape[2]),
+            });
+        }
+        Ok(vec![
+            self.out_channels(),
+            self.geom.out_size(in_shape[1])?,
+            self.geom.out_size(in_shape[2])?,
+        ])
+    }
+
+    /// Visits the layer's parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = Rng::new(0);
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let y = c.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+        assert_eq!(c.out_shape(&[3, 8, 8]).unwrap(), vec![8, 8, 8]);
+        assert!(c.out_shape(&[4, 8, 8]).is_err());
+    }
+
+    #[test]
+    fn strided_conv_halves_spatial() {
+        let mut rng = Rng::new(0);
+        let c = Conv2d::new(4, 8, 3, 2, 1, &mut rng).unwrap();
+        assert_eq!(c.out_shape(&[4, 8, 8]).unwrap(), vec![8, 4, 4]);
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut rng = Rng::new(3);
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = c.forward(&x, Mode::Train).unwrap();
+        let gx = c.backward(&Tensor::ones(y.dims())).unwrap();
+
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 9, 23] {
+            let mut cp = c.clone();
+            cp.weight.value.data_mut()[flat] += eps;
+            let mut cm = c.clone();
+            cm.weight.value.data_mut()[flat] -= eps;
+            let num = (cp.forward(&x, Mode::Eval).unwrap().sum()
+                - cm.forward(&x, Mode::Eval).unwrap().sum())
+                / (2.0 * eps);
+            assert!((num - c.weight.grad.data()[flat]).abs() < 0.05);
+        }
+        for &flat in &[0usize, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let mut c2 = c.clone();
+            let num = (c2.forward(&xp, Mode::Eval).unwrap().sum()
+                - c2.forward(&xm, Mode::Eval).unwrap().sum())
+                / (2.0 * eps);
+            assert!((num - gx.data()[flat]).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng::new(0);
+        let c = Conv2d::new(3, 8, 3, 1, 1, &mut rng).unwrap();
+        assert_eq!(c.param_count(), 8 * 3 * 9 + 8);
+    }
+}

@@ -1,0 +1,28 @@
+//! Trainable layers with manual forward/backward passes.
+//!
+//! Each layer caches the activations its backward pass needs during
+//! `forward(Mode::Train)`; calling `backward` without a prior training
+//! forward is an error. Gradients *accumulate* into [`crate::Parameter`]s
+//! until the optimizer consumes them.
+
+mod attention;
+mod conv;
+mod embedding;
+mod linear;
+mod norm;
+
+pub use attention::MultiHeadAttention;
+pub use conv::Conv2d;
+pub use embedding::{PatchEmbed, TokenEmbed};
+pub use linear::Linear;
+pub use norm::{BatchNorm2d, LayerNorm};
+
+use gmorph_tensor::TensorError;
+
+/// Error for a backward call that has no cached forward state.
+pub(crate) fn missing_cache(op: &'static str) -> TensorError {
+    TensorError::InvalidArgument {
+        op,
+        msg: "backward called without a cached training forward".to_string(),
+    }
+}

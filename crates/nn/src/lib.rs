@@ -1,0 +1,42 @@
+//! Neural-network layers and computation blocks for the GMorph reproduction.
+//!
+//! The paper treats a DNN as "a sequence of computation blocks" — residual
+//! blocks in ResNets, convolution layers in VGGs, encoder layers in
+//! transformers (§1). This crate provides:
+//!
+//! - trainable layers with manual forward/backward passes ([`layers`]),
+//! - the [`block::Block`] enum: the *computation block* unit that the
+//!   abstract graph represents and graph mutation rearranges,
+//! - optimizers ([`optim`]) and losses ([`loss`]), including the weighted
+//!   ℓ1 distillation loss of §5.2,
+//! - weight initialization schemes ([`init`]).
+//!
+//! Layers cache whatever the backward pass needs during `forward`, so the
+//! call protocol is strictly `forward` then (optionally) `backward` on the
+//! same instance — the protocol PyTorch's autograd enforces dynamically is
+//! enforced here by construction of the training loops.
+
+pub mod block;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod spec;
+
+pub use block::{Block, OpType};
+pub use param::Parameter;
+pub use spec::BlockSpec;
+
+pub use gmorph_tensor::{Result, Shape, Tensor, TensorError};
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Controls batch-norm statistics (batch vs running) and gradient caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: use batch statistics, cache activations for backward.
+    Train,
+    /// Inference: use running statistics, skip caches where possible.
+    Eval,
+}

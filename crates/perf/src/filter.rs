@@ -1,0 +1,239 @@
+//! Predictive filtering (§5.1): rule-based filtering and predictive early
+//! termination.
+
+use gmorph_graph::CapacityVector;
+
+/// Rule-based filtering over capacity vectors.
+///
+/// "When a mutated abs-graph is trained and shown to be non-promising,
+/// then all mutated abs-graphs that are more aggressive in feature sharing
+/// are also non-promising." The filter records the capacity vectors of
+/// failed candidates; a new candidate is skipped (never fine-tuned) when
+/// it is more aggressive than any recorded failure.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityRuleFilter {
+    failures: Vec<CapacityVector>,
+}
+
+impl CapacityRuleFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        CapacityRuleFilter::default()
+    }
+
+    /// Number of recorded failures.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// True when no failures are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Records a candidate that failed to meet the accuracy target.
+    ///
+    /// Dominated entries (failures that are themselves more aggressive
+    /// than the new one) are pruned: the new, *less* aggressive failure
+    /// subsumes them.
+    pub fn record_failure(&mut self, cv: CapacityVector) {
+        self.failures
+            .retain(|old| !old.more_aggressive_than(&cv) && old != &cv);
+        self.failures.push(cv);
+    }
+
+    /// True when `cv` should be skipped without fine-tuning.
+    pub fn should_skip(&self, cv: &CapacityVector) -> bool {
+        self.failures
+            .iter()
+            .any(|f| cv.more_aggressive_than(f) || cv == f)
+    }
+}
+
+/// Predictive early termination via learning-curve extrapolation.
+///
+/// Implements the paper's convergence-rate formula over four consecutive
+/// validation accuracies `f(x), f(x+δ), f(x+2δ), f(x+3δ)`:
+///
+/// ```text
+/// α = [log|f(x+2δ)-f(x+3δ)| - log|f(x+δ)-f(x+2δ)|]
+///   / [log|f(x+δ)-f(x+2δ)| - log|f(x)-f(x+δ)|]
+/// ```
+///
+/// With the estimated per-step contraction the remaining improvement is
+/// extrapolated geometrically to the end of the budget.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergencePredictor {
+    history: Vec<f32>,
+}
+
+impl ConvergencePredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        ConvergencePredictor::default()
+    }
+
+    /// Appends a validation accuracy measurement.
+    pub fn push(&mut self, accuracy: f32) {
+        self.history.push(accuracy);
+    }
+
+    /// Number of measurements so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True when no measurements have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Estimates the per-step contraction ratio of successive improvement
+    /// deltas from the last four measurements, or `None` when fewer than
+    /// four measurements exist or the deltas are degenerate.
+    pub fn contraction(&self) -> Option<f32> {
+        let n = self.history.len();
+        if n < 4 {
+            return None;
+        }
+        let f = &self.history[n - 4..];
+        let d0 = (f[1] - f[0]).abs();
+        let d1 = (f[2] - f[1]).abs();
+        let d2 = (f[3] - f[2]).abs();
+        if d0 < 1e-7 || d1 < 1e-7 || d2 < 1e-7 {
+            return None;
+        }
+        // For geometrically converging curves the paper's α is ≈ 1 and the
+        // per-step contraction of the deltas is the quantity that drives
+        // the extrapolation.
+        Some((d2 / d1).clamp(0.0, 0.999))
+    }
+
+    /// The paper's order-of-convergence α from the log-ratio formula, or
+    /// `None` when the history is too short or degenerate.
+    pub fn alpha(&self) -> Option<f32> {
+        let n = self.history.len();
+        if n < 4 {
+            return None;
+        }
+        let f = &self.history[n - 4..];
+        let d0 = (f[1] - f[0]).abs();
+        let d1 = (f[2] - f[1]).abs();
+        let d2 = (f[3] - f[2]).abs();
+        if d0 < 1e-7 || d1 < 1e-7 || d2 < 1e-7 {
+            return None;
+        }
+        let denom = d1.ln() - d0.ln();
+        if denom.abs() < 1e-6 {
+            return None;
+        }
+        Some((d2.ln() - d1.ln()) / denom)
+    }
+
+    /// Extrapolates the accuracy after `steps_left` more validation
+    /// intervals; `None` when not enough history exists.
+    pub fn predict_final(&self, steps_left: usize) -> Option<f32> {
+        let r = self.contraction()?;
+        let n = self.history.len();
+        let last = self.history[n - 1];
+        let prev = self.history[n - 2];
+        let direction = (last - prev).signum();
+        let mut delta = (last - prev).abs();
+        let mut acc = last;
+        for _ in 0..steps_left {
+            delta *= r;
+            acc += direction * delta;
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(total: usize, tt: Vec<usize>, ts: Vec<usize>, shared: usize) -> CapacityVector {
+        CapacityVector {
+            total,
+            per_task_total: tt,
+            per_task_specific: ts,
+            shared,
+        }
+    }
+
+    #[test]
+    fn rule_filter_skips_more_aggressive_candidates() {
+        let mut f = CapacityRuleFilter::new();
+        assert!(f.is_empty());
+        f.record_failure(cv(100, vec![60, 70], vec![40, 50], 20));
+        // More aggressive than the failure: skipped.
+        assert!(f.should_skip(&cv(80, vec![50, 60], vec![20, 30], 30)));
+        // Less aggressive: not skipped.
+        assert!(!f.should_skip(&cv(120, vec![70, 80], vec![60, 70], 10)));
+        // The exact same configuration is skipped too.
+        assert!(f.should_skip(&cv(100, vec![60, 70], vec![40, 50], 20)));
+    }
+
+    #[test]
+    fn rule_filter_prunes_dominated_failures() {
+        let mut f = CapacityRuleFilter::new();
+        f.record_failure(cv(80, vec![50, 60], vec![20, 30], 30));
+        assert_eq!(f.len(), 1);
+        // A less aggressive failure subsumes the earlier one.
+        f.record_failure(cv(100, vec![60, 70], vec![40, 50], 20));
+        assert_eq!(f.len(), 1);
+        assert!(f.should_skip(&cv(80, vec![50, 60], vec![20, 30], 30)));
+    }
+
+    #[test]
+    fn rule_filter_never_skips_on_empty() {
+        let f = CapacityRuleFilter::new();
+        assert!(!f.should_skip(&cv(10, vec![10], vec![10], 0)));
+    }
+
+    #[test]
+    fn predictor_needs_four_points() {
+        let mut p = ConvergencePredictor::new();
+        p.push(0.5);
+        p.push(0.6);
+        p.push(0.65);
+        assert!(p.contraction().is_none());
+        assert!(p.predict_final(10).is_none());
+        p.push(0.675);
+        assert!(p.contraction().is_some());
+    }
+
+    #[test]
+    fn predictor_extrapolates_geometric_curves() {
+        // accuracy(e) = 0.8 - 0.4 * 0.5^e converges to 0.8.
+        let mut p = ConvergencePredictor::new();
+        for e in 1..=4 {
+            p.push(0.8 - 0.4 * 0.5f32.powi(e));
+        }
+        let r = p.contraction().unwrap();
+        assert!((r - 0.5).abs() < 0.05, "r = {r}");
+        let projected = p.predict_final(50).unwrap();
+        assert!((projected - 0.8).abs() < 0.02, "projected {projected}");
+    }
+
+    #[test]
+    fn predictor_identifies_hopeless_candidates() {
+        // Converging to 0.70: a 0.78 target is unreachable.
+        let mut p = ConvergencePredictor::new();
+        for e in 1..=4 {
+            p.push(0.70 - 0.3 * 0.6f32.powi(e));
+        }
+        let projected = p.predict_final(100).unwrap();
+        assert!(projected < 0.75, "projected {projected}");
+    }
+
+    #[test]
+    fn predictor_handles_flat_curves() {
+        let mut p = ConvergencePredictor::new();
+        for _ in 0..4 {
+            p.push(0.5);
+        }
+        // Degenerate deltas: no prediction rather than a bogus one.
+        assert!(p.contraction().is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! Performance Estimation (§5) for the GMorph reproduction.
+//!
+//! "Performance estimation computes several commonly-used performance
+//! metrics including latency, FLOPs, and accuracy." This crate provides:
+//!
+//! - [`estimator`]: the FLOPs Estimator and the Latency Estimator — both a
+//!   *measured* path (wall-clock of the real mini-scale tree model) and an
+//!   *analytic* path over paper-scale abstract graphs with two backends,
+//!   `Eager` (PyTorch-like per-op launch overhead) and `Fused`
+//!   (TensorRT-like fusion + higher effective throughput),
+//! - [`accuracy`]: the Accuracy Estimator — distillation-based fine-tuning
+//!   (§5.2, the `Real` path) and a calibrated analytic `Surrogate` that
+//!   preserves the search dynamics at a fraction of the cost (see
+//!   DESIGN.md §1 for the substitution argument),
+//! - [`compile`]: inference compilation (batch-norm folding) — the real,
+//!   measurable counterpart of the `Fused` backend,
+//! - [`filter`]: predictive filtering (§5.1) — rule-based capacity
+//!   filtering and learning-curve predictive early termination,
+//! - [`clock`]: the virtual clock that accounts search cost in paper-scale
+//!   GPU-hours.
+
+pub mod accuracy;
+pub mod clock;
+pub mod compile;
+pub mod estimator;
+pub mod filter;
+
+pub use accuracy::{EvalRecord, FinetuneConfig, FinetuneResult};
+pub use clock::VirtualClock;
+pub use estimator::Backend;
+pub use filter::{CapacityRuleFilter, ConvergencePredictor};

@@ -1,0 +1,309 @@
+//! Batched search: the paper's §7 extension implemented.
+//!
+//! "Our current implementation samples only one multi-task model at a
+//! time, which limits the efficiency of the iterative process. We can
+//! accelerate this process by sampling multiple models in parallel or
+//! adopting parallel simulated annealing algorithms."
+//!
+//! [`run_search_batched`] samples `batch_size` candidates per round from
+//! the same base distribution as the sequential driver and evaluates them
+//! concurrently with [`crate::parallel::evaluate_batch`]. Elites and
+//! filters are updated once per round with all results, which is the
+//! classic synchronous parallel-SA scheme: slightly staler feedback in
+//! exchange for `batch_size`-way parallel fine-tuning.
+
+use crate::driver::{propose_candidate, Objective, SearchConfig};
+use crate::evaluator::EvalMode;
+use crate::history::{Elite, History};
+use crate::parallel::evaluate_batch;
+use crate::policy::{PolicyKind, SimulatedAnnealing};
+use gmorph_graph::{AbsGraph, CapacityVector, WeightStore};
+use gmorph_perf::estimator::{estimate_latency_ms, Backend};
+use gmorph_perf::filter::CapacityRuleFilter;
+use gmorph_perf::VirtualClock;
+use gmorph_tensor::rng::Rng;
+use gmorph_tensor::{Result, TensorError};
+
+/// Outcome of a batched search round for diagnostics.
+#[derive(Debug, Clone)]
+pub struct BatchRound {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Candidates evaluated this round.
+    pub evaluated: usize,
+    /// Candidates skipped (duplicate or rule-filtered).
+    pub skipped: usize,
+    /// Best satisfying latency after this round.
+    pub best_latency_ms: f64,
+    /// Virtual hours so far.
+    pub virtual_hours: f64,
+}
+
+/// Result of a batched search.
+#[derive(Debug, Clone)]
+pub struct BatchedResult {
+    /// Best satisfying graph at mini scale.
+    pub best_mini: AbsGraph,
+    /// Best satisfying graph at paper scale.
+    pub best_paper: AbsGraph,
+    /// Best latency (ms, Eager, paper scale).
+    pub best_latency_ms: f64,
+    /// Latency of the original graph.
+    pub original_latency_ms: f64,
+    /// Speedup over the original.
+    pub speedup: f64,
+    /// Per-round diagnostics.
+    pub rounds: Vec<BatchRound>,
+    /// Total virtual search hours.
+    pub virtual_hours: f64,
+}
+
+/// Runs Algorithm 1 with `batch_size` candidates per round.
+///
+/// `cfg.iterations` counts *candidates*, so a batched run with
+/// `batch_size = 4` performs `iterations / 4` rounds and is directly
+/// comparable to a sequential run of the same `iterations`.
+pub fn run_search_batched(
+    mini: &AbsGraph,
+    paper: &AbsGraph,
+    teacher_weights: &WeightStore,
+    mode: &EvalMode,
+    cfg: &SearchConfig,
+    batch_size: usize,
+) -> Result<BatchedResult> {
+    if batch_size == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "run_search_batched",
+            msg: "batch_size must be nonzero".to_string(),
+        });
+    }
+    let mut rng = Rng::new(cfg.seed ^ 0xBA7C4);
+    let mut policy = SimulatedAnnealing::new();
+    policy.alpha = cfg.sa_alpha;
+    let mut history = History::new(policy.max_elites);
+    let mut rule_filter = CapacityRuleFilter::new();
+    let mut clock = VirtualClock::new(cfg.virtual_samples);
+    let original_latency_ms = estimate_latency_ms(paper, Backend::Eager)?;
+
+    let mut best_mini = mini.clone();
+    let mut best_paper = paper.clone();
+    let mut best_latency = original_latency_ms;
+    let mut rounds = Vec::new();
+    let n_rounds = cfg.iterations.div_ceil(batch_size);
+
+    for round in 1..=n_rounds {
+        // Sample a batch of candidates from the current policy state.
+        let mut batch: Vec<(AbsGraph, AbsGraph, WeightStore)> = Vec::new();
+        let mut skipped = 0usize;
+        while batch.len() < batch_size {
+            let use_elite = match cfg.policy {
+                PolicyKind::SimulatedAnnealing => policy.sample_from_elites(
+                    round * batch_size,
+                    history.elite_count(),
+                    &mut rng,
+                ),
+                PolicyKind::RandomSampling => false,
+            };
+            let (base_mini, base_paper, base_weights) =
+                if use_elite && history.elite_count() > 0 {
+                    let e = &history.elites()[rng.below(history.elite_count())];
+                    (e.mini.clone(), e.paper.clone(), e.weights.clone())
+                } else {
+                    (mini.clone(), paper.clone(), teacher_weights.clone())
+                };
+            let Some((cand_mini, cand_paper)) = propose_candidate(
+                &base_mini,
+                &base_paper,
+                cfg.pair_policy,
+                cfg.max_ops_per_pass,
+                &mut rng,
+            )?
+            else {
+                skipped += 1;
+                if skipped > batch_size * 4 {
+                    break;
+                }
+                continue;
+            };
+            if !history.record_evaluated(cand_mini.signature()) {
+                skipped += 1;
+                if skipped > batch_size * 4 {
+                    break;
+                }
+                continue;
+            }
+            if cfg.rule_filter {
+                let cv = CapacityVector::of(&cand_mini)?;
+                if rule_filter.should_skip(&cv) {
+                    skipped += 1;
+                    clock.charge_overhead(2.0);
+                    continue;
+                }
+            }
+            batch.push((cand_mini, cand_paper, base_weights));
+        }
+        if batch.is_empty() {
+            break;
+        }
+
+        // Evaluate the whole batch concurrently.
+        let inputs: Vec<(AbsGraph, WeightStore)> = batch
+            .iter()
+            .map(|(m, _, w)| (m.clone(), w.clone()))
+            .collect();
+        let evals = evaluate_batch(
+            &inputs,
+            mode,
+            &cfg.finetune,
+            cfg.seed ^ (round as u64) << 16,
+        )?;
+
+        // Fold results back into the shared state, sequentially.
+        for ((cand_mini, cand_paper, _), ev) in batch.into_iter().zip(evals) {
+            let paper_flops = cand_paper.flops()?;
+            clock.charge_finetune(paper_flops, ev.result.epochs_run);
+            clock.charge_eval(paper_flops * ev.result.records.len().max(1) as u64);
+            policy.observe_drop(ev.result.final_drop.max(0.0));
+            let latency = estimate_latency_ms(&cand_paper, Backend::Eager)?;
+            let objective = match cfg.objective {
+                Objective::Latency => latency,
+                Objective::Flops => paper_flops as f64,
+            };
+            let best_objective = match cfg.objective {
+                Objective::Latency => best_latency,
+                Objective::Flops => best_paper.flops()? as f64,
+            };
+            if ev.result.met_target {
+                if objective < best_objective {
+                    best_mini = cand_mini.clone();
+                    best_paper = cand_paper.clone();
+                    best_latency = latency;
+                }
+                history.add_elite(Elite {
+                    mini: cand_mini,
+                    paper: cand_paper,
+                    weights: ev.weights,
+                    drop: ev.result.final_drop,
+                    latency_ms: latency,
+                    scores: ev.result.final_scores,
+                });
+            } else if cfg.rule_filter {
+                rule_filter.record_failure(CapacityVector::of(&cand_mini)?);
+            }
+        }
+        rounds.push(BatchRound {
+            round,
+            evaluated: inputs.len(),
+            skipped,
+            best_latency_ms: best_latency,
+            virtual_hours: clock.hours(),
+        });
+    }
+
+    Ok(BatchedResult {
+        speedup: original_latency_ms / best_latency,
+        best_mini,
+        best_paper,
+        best_latency_ms: best_latency,
+        original_latency_ms,
+        rounds,
+        virtual_hours: clock.hours(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SurrogateContext;
+    use gmorph_data::TaskSpec;
+    use gmorph_graph::parser::parse_specs;
+    use gmorph_models::families::{vgg, VggDepth, VisionScale};
+    use gmorph_perf::accuracy::{FinetuneConfig, SurrogateParams};
+
+    fn setup() -> (AbsGraph, AbsGraph, WeightStore, EvalMode) {
+        let t0 = TaskSpec::classification("a", 2);
+        let t1 = TaskSpec::classification("b", 3);
+        let mini = parse_specs(&[
+            vgg(VggDepth::Vgg13, VisionScale::mini(), &t0).unwrap(),
+            vgg(VggDepth::Vgg13, VisionScale::mini(), &t1).unwrap(),
+        ])
+        .unwrap();
+        let paper = parse_specs(&[
+            vgg(VggDepth::Vgg13, VisionScale::paper(), &t0).unwrap(),
+            vgg(VggDepth::Vgg13, VisionScale::paper(), &t1).unwrap(),
+        ])
+        .unwrap();
+        let mut weights = WeightStore::new();
+        for (_, n) in mini.iter() {
+            weights.insert(n.key(), n.spec.clone(), Vec::new());
+        }
+        let mode = EvalMode::Surrogate(SurrogateContext {
+            orig_capacity: CapacityVector::of(&mini).unwrap(),
+            params: SurrogateParams::default(),
+            teacher_scores: vec![0.85, 0.80],
+        });
+        (mini, paper, weights, mode)
+    }
+
+    fn cfg(iterations: usize) -> SearchConfig {
+        SearchConfig {
+            iterations,
+            finetune: FinetuneConfig {
+                max_epochs: 20,
+                eval_every: 2,
+                target_drop: 0.02,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batched_search_finds_satisfying_speedup() {
+        let (mini, paper, weights, mode) = setup();
+        let r = run_search_batched(&mini, &paper, &weights, &mode, &cfg(32), 4).unwrap();
+        assert!(r.speedup > 1.0, "speedup {}", r.speedup);
+        assert!(!r.rounds.is_empty());
+        r.best_mini.validate().unwrap();
+        r.best_paper.validate().unwrap();
+        // Candidate count respects the budget (rounds * batch).
+        let evaluated: usize = r.rounds.iter().map(|x| x.evaluated).sum();
+        assert!(evaluated <= 32);
+    }
+
+    #[test]
+    fn batched_matches_sequential_quality_roughly() {
+        let (mini, paper, weights, mode) = setup();
+        let seq = crate::driver::run_search(&mini, &paper, &weights, &mode, &cfg(32)).unwrap();
+        let bat = run_search_batched(&mini, &paper, &weights, &mode, &cfg(32), 4).unwrap();
+        // Same candidate budget: quality within a factor.
+        assert!(bat.speedup > seq.speedup * 0.5, "{} vs {}", bat.speedup, seq.speedup);
+    }
+
+    #[test]
+    fn best_latency_monotone_across_rounds() {
+        let (mini, paper, weights, mode) = setup();
+        let r = run_search_batched(&mini, &paper, &weights, &mode, &cfg(24), 3).unwrap();
+        for w in r.rounds.windows(2) {
+            assert!(w[1].best_latency_ms <= w[0].best_latency_ms + 1e-9);
+            assert!(w[1].virtual_hours >= w[0].virtual_hours);
+        }
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let (mini, paper, weights, mode) = setup();
+        assert!(run_search_batched(&mini, &paper, &weights, &mode, &cfg(8), 0).is_err());
+    }
+
+    #[test]
+    fn rule_filter_works_in_batched_mode() {
+        let (mini, paper, weights, mode) = setup();
+        let mut c = cfg(48);
+        c.finetune.target_drop = 0.0;
+        c.rule_filter = true;
+        let r = run_search_batched(&mini, &paper, &weights, &mode, &c, 4).unwrap();
+        let skipped: usize = r.rounds.iter().map(|x| x.skipped).sum();
+        assert!(skipped > 0);
+    }
+}

@@ -1,0 +1,667 @@
+//! Algorithm 1: the graph mutation optimization loop.
+//!
+//! Each iteration (1) samples a base abstract graph — the original
+//! multi-DNN graph or an elite — under the sampling policy, (2) samples
+//! input-shareable node pairs and applies a graph mutation pass, (3)
+//! generates and evaluates the candidate (with predictive filtering), and
+//! (4) updates the elites and the best model when the accuracy target is
+//! met.
+//!
+//! The driver tracks every candidate at two scales simultaneously: the
+//! *mini* graph (trainable) and the *paper* graph (analytic estimation),
+//! replaying the same mutation operations on both. Node ids are aligned by
+//! construction (both graphs are parsed from parallel spec lists and
+//! mutated identically), which the driver asserts every iteration.
+
+use crate::evaluator::EvalMode;
+use crate::history::{Elite, History};
+use crate::policy::{PolicyKind, SimulatedAnnealing};
+use gmorph_graph::pairs::{pairs_with, PairPolicy};
+use gmorph_graph::{mutation, AbsGraph, CapacityVector, NodeId, WeightStore};
+use gmorph_perf::accuracy::FinetuneConfig;
+use gmorph_perf::estimator::{estimate_latency_ms, Backend};
+use gmorph_perf::filter::CapacityRuleFilter;
+use gmorph_perf::VirtualClock;
+use gmorph_tensor::rng::Rng;
+use gmorph_tensor::{Result, TensorError};
+use std::time::Instant;
+
+/// The metric the search minimizes (the paper's config item (1)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Estimated paper-scale latency (ms, Eager backend).
+    Latency,
+    /// Total paper-scale FLOPs.
+    Flops,
+}
+
+/// Search configuration (the paper's "configuration file", §3).
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Total optimization rounds `N` (paper: 200).
+    pub iterations: usize,
+    /// Metric to optimize.
+    pub objective: Objective,
+    /// Sampling policy.
+    pub policy: PolicyKind,
+    /// Maximum mutation operations per pass.
+    pub max_ops_per_pass: usize,
+    /// Simulated-annealing cooling constant α (paper: 0.99).
+    pub sa_alpha: f32,
+    /// Pair-enumeration policy (similar shapes by default).
+    pub pair_policy: PairPolicy,
+    /// Enables rule-based filtering (the "+R" variants).
+    pub rule_filter: bool,
+    /// Fine-tuning configuration; `target_drop` is the accuracy threshold
+    /// and `early_termination` enables the "+P" variant.
+    pub finetune: FinetuneConfig,
+    /// Virtual-clock sample count (paper-scale representative inputs).
+    pub virtual_samples: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            iterations: 24,
+            objective: Objective::Latency,
+            policy: PolicyKind::SimulatedAnnealing,
+            sa_alpha: 0.99,
+            max_ops_per_pass: 2,
+            pair_policy: PairPolicy::SimilarShape,
+            rule_filter: false,
+            finetune: FinetuneConfig::default(),
+            virtual_samples: 20_000,
+            seed: 0,
+        }
+    }
+}
+
+/// What happened to one candidate during the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStatus {
+    /// Evaluated by fine-tuning (real or surrogate).
+    Evaluated,
+    /// Skipped: identical architecture already evaluated.
+    Duplicate,
+    /// Skipped by rule-based filtering before fine-tuning.
+    RuleFiltered,
+    /// Fine-tuning cut short by predictive early termination.
+    TerminatedEarly,
+    /// No legal mutation was found this round.
+    NoMutation,
+}
+
+/// Per-iteration trace record (drives Figure 8's curves).
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Iteration number (1-based).
+    pub iter: usize,
+    /// Candidate status.
+    pub status: CandidateStatus,
+    /// Whether the base graph was an elite (exploitation) rather than the
+    /// original multi-DNN graph.
+    pub from_elite: bool,
+    /// Accuracy drop after fine-tuning (`NaN` when not evaluated).
+    pub drop: f32,
+    /// Whether the accuracy target was met.
+    pub met_target: bool,
+    /// Estimated paper-scale latency of the candidate (ms).
+    pub candidate_latency_ms: f64,
+    /// Best satisfying latency found so far (ms).
+    pub best_latency_ms: f64,
+    /// Fine-tuning epochs spent.
+    pub epochs: usize,
+    /// Virtual search time so far (hours).
+    pub virtual_hours: f64,
+    /// Wall-clock time so far (seconds).
+    pub wall_seconds: f64,
+}
+
+/// The best model found by a search.
+#[derive(Debug, Clone)]
+pub struct BestModel {
+    /// Mini-scale abstract graph.
+    pub mini: AbsGraph,
+    /// Paper-scale abstract graph.
+    pub paper: AbsGraph,
+    /// Trained weights (real mode) or inheritance markers (surrogate).
+    pub weights: WeightStore,
+    /// Estimated paper-scale latency (ms, Eager backend).
+    pub latency_ms: f64,
+    /// Accuracy drop.
+    pub drop: f32,
+    /// Per-task scores.
+    pub scores: Vec<f32>,
+}
+
+/// Outcome of a full search run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best satisfying model (the original when nothing beat it).
+    pub best: BestModel,
+    /// Latency of the original multi-DNN graph (ms, Eager backend).
+    pub original_latency_ms: f64,
+    /// Speedup of `best` over the original.
+    pub speedup: f64,
+    /// Per-iteration trace.
+    pub trace: Vec<TraceRecord>,
+    /// Total virtual search time (hours).
+    pub virtual_hours: f64,
+    /// Total wall-clock time (seconds).
+    pub wall_seconds: f64,
+    /// Candidates fine-tuned.
+    pub evaluated: usize,
+    /// Candidates skipped by rule-based filtering.
+    pub rule_filtered: usize,
+    /// Candidates whose fine-tuning was terminated early.
+    pub early_terminated: usize,
+    /// Duplicate candidates skipped.
+    pub duplicates: usize,
+}
+
+struct Base<'a> {
+    mini: &'a AbsGraph,
+    paper: &'a AbsGraph,
+    weights: &'a WeightStore,
+}
+
+/// Runs Algorithm 1.
+///
+/// `mini` and `paper` are the abstract graphs of the input multi-DNNs at
+/// the two scales (node-id aligned); `teacher_weights` hold the
+/// well-trained single-task weights; `mode` selects real or surrogate
+/// accuracy evaluation.
+pub fn run_search(
+    mini: &AbsGraph,
+    paper: &AbsGraph,
+    teacher_weights: &WeightStore,
+    mode: &EvalMode,
+    cfg: &SearchConfig,
+) -> Result<SearchResult> {
+    if mini.len() != paper.len() {
+        return Err(TensorError::InvalidArgument {
+            op: "run_search",
+            msg: format!(
+                "mini graph has {} nodes, paper graph {} — scales out of sync",
+                mini.len(),
+                paper.len()
+            ),
+        });
+    }
+    let wall_start = Instant::now();
+    let mut rng = Rng::new(cfg.seed ^ 0x5EA_4C4);
+    let mut policy = SimulatedAnnealing::new();
+    policy.alpha = cfg.sa_alpha;
+    let mut history = History::new(policy.max_elites);
+    let mut rule_filter = CapacityRuleFilter::new();
+    let mut clock = VirtualClock::new(cfg.virtual_samples);
+    let mut trace: Vec<TraceRecord> = Vec::with_capacity(cfg.iterations);
+
+    let original_latency_ms = estimate_latency_ms(paper, Backend::Eager)?;
+    let teacher_scores = mode.teacher_scores().to_vec();
+    let mut best = BestModel {
+        mini: mini.clone(),
+        paper: paper.clone(),
+        weights: teacher_weights.clone(),
+        latency_ms: original_latency_ms,
+        drop: 0.0,
+        scores: teacher_scores.clone(),
+    };
+    let mut evaluated = 0usize;
+    let mut rule_filtered = 0usize;
+    let mut early_terminated = 0usize;
+    let mut duplicates = 0usize;
+
+    for iter in 1..=cfg.iterations {
+        // Step 1: sample the base graph (original or elite).
+        let use_elite = match cfg.policy {
+            PolicyKind::SimulatedAnnealing => {
+                policy.sample_from_elites(iter, history.elite_count(), &mut rng)
+            }
+            PolicyKind::RandomSampling => false,
+        };
+        let elite_pick = if use_elite && history.elite_count() > 0 {
+            Some(rng.below(history.elite_count()))
+        } else {
+            None
+        };
+        // Clone the elite out so `history` stays mutably borrowable below;
+        // elite graphs are small (tens of nodes) and surrogate weight
+        // stores hold empty tensors, so this is cheap.
+        let elite_base = elite_pick.map(|i| {
+            let e = &history.elites()[i];
+            (e.mini.clone(), e.paper.clone(), e.weights.clone())
+        });
+        let base = match &elite_base {
+            Some((m, p, w)) => Base {
+                mini: m,
+                paper: p,
+                weights: w,
+            },
+            None => Base {
+                mini,
+                paper,
+                weights: teacher_weights,
+            },
+        };
+
+        // Step 2: sample pairs and run the mutation pass on both scales.
+        let candidate = propose_candidate(
+            base.mini,
+            base.paper,
+            cfg.pair_policy,
+            cfg.max_ops_per_pass,
+            &mut rng,
+        )?;
+        let (cand_mini, cand_paper) = match candidate {
+            Some(c) => c,
+            None => {
+                trace.push(record(
+                    iter,
+                    CandidateStatus::NoMutation,
+                    elite_pick.is_some(),
+                    f32::NAN,
+                    false,
+                    f64::NAN,
+                    &best,
+                    0,
+                    &clock,
+                    wall_start,
+                ));
+                continue;
+            }
+        };
+        let cand_latency = estimate_latency_ms(&cand_paper, Backend::Eager)?;
+        let cand_objective = match cfg.objective {
+            Objective::Latency => cand_latency,
+            Objective::Flops => cand_paper.flops()? as f64,
+        };
+
+        // Deduplicate by structural signature.
+        if !history.record_evaluated(cand_mini.signature()) {
+            duplicates += 1;
+            clock.charge_overhead(1.0);
+            trace.push(record(
+                iter,
+                CandidateStatus::Duplicate,
+                elite_pick.is_some(),
+                f32::NAN,
+                false,
+                cand_latency,
+                &best,
+                0,
+                &clock,
+                wall_start,
+            ));
+            continue;
+        }
+
+        // Rule-based filtering (§5.1) before any fine-tuning.
+        let capacity = CapacityVector::of(&cand_mini)?;
+        if cfg.rule_filter && rule_filter.should_skip(&capacity) {
+            rule_filtered += 1;
+            clock.charge_overhead(2.0);
+            trace.push(record(
+                iter,
+                CandidateStatus::RuleFiltered,
+                elite_pick.is_some(),
+                f32::NAN,
+                false,
+                cand_latency,
+                &best,
+                0,
+                &clock,
+                wall_start,
+            ));
+            continue;
+        }
+
+        // Step 3: evaluate (fine-tune) the candidate.
+        let noise_salt = cfg.seed.wrapping_mul(1_000_003) ^ iter as u64;
+        let evaluation =
+            mode.evaluate(&cand_mini, base.weights, &cfg.finetune, &mut rng, noise_salt)?;
+        evaluated += 1;
+        let paper_flops = cand_paper.flops()?;
+        clock.charge_finetune(paper_flops, evaluation.result.epochs_run);
+        clock.charge_eval(paper_flops * evaluation.result.records.len().max(1) as u64);
+        policy.observe_drop(evaluation.result.final_drop.max(0.0));
+        if evaluation.result.terminated_early {
+            early_terminated += 1;
+        }
+
+        // Step 4: elites and best model.
+        let met = evaluation.result.met_target;
+        if met {
+            let best_objective = match cfg.objective {
+                Objective::Latency => best.latency_ms,
+                Objective::Flops => best.paper.flops()? as f64,
+            };
+            if cand_objective < best_objective {
+                best = BestModel {
+                    mini: cand_mini.clone(),
+                    paper: cand_paper.clone(),
+                    weights: evaluation.weights.clone(),
+                    latency_ms: cand_latency,
+                    drop: evaluation.result.final_drop,
+                    scores: evaluation.result.final_scores.clone(),
+                };
+            }
+            history.add_elite(Elite {
+                mini: cand_mini,
+                paper: cand_paper,
+                weights: evaluation.weights,
+                drop: evaluation.result.final_drop,
+                latency_ms: cand_latency,
+                scores: evaluation.result.final_scores.clone(),
+            });
+        } else if cfg.rule_filter {
+            rule_filter.record_failure(capacity);
+        }
+        let status = if evaluation.result.terminated_early {
+            CandidateStatus::TerminatedEarly
+        } else {
+            CandidateStatus::Evaluated
+        };
+        trace.push(record(
+            iter,
+            status,
+            elite_pick.is_some(),
+            evaluation.result.final_drop,
+            met,
+            cand_latency,
+            &best,
+            evaluation.result.epochs_run,
+            &clock,
+            wall_start,
+        ));
+    }
+
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    Ok(SearchResult {
+        speedup: original_latency_ms / best.latency_ms,
+        best,
+        original_latency_ms,
+        trace,
+        virtual_hours: clock.hours(),
+        wall_seconds,
+        evaluated,
+        rule_filtered,
+        early_terminated,
+        duplicates,
+    })
+}
+
+/// Samples a mutation pass and replays it at both scales.
+///
+/// Public so the experiment harness can draw candidates exactly the way
+/// the search does (Figure 1/2/3 sample candidates outside a search run).
+pub fn propose_candidate(
+    base_mini: &AbsGraph,
+    base_paper: &AbsGraph,
+    pair_policy: PairPolicy,
+    max_ops_per_pass: usize,
+    rng: &mut Rng,
+) -> Result<Option<(AbsGraph, AbsGraph)>> {
+    let pairs = pairs_with(base_mini, pair_policy)?;
+    if pairs.is_empty() {
+        return Ok(None);
+    }
+    for _ in 0..8 {
+        let k = 1 + rng.below(max_ops_per_pass.max(1));
+        let chosen: Vec<(NodeId, NodeId)> =
+            (0..k).map(|_| pairs[rng.below(pairs.len())]).collect();
+        let (cand_mini, ops_mini) = mutation::mutation_pass(base_mini, &chosen)?;
+        if ops_mini.is_empty() {
+            continue;
+        }
+        let (cand_paper, ops_paper) = mutation::mutation_pass(base_paper, &chosen)?;
+        // Scales must replay identically; node ids are aligned by
+        // construction, so a divergence is a bug worth failing loudly on.
+        if ops_mini.len() != ops_paper.len()
+            || ops_mini
+                .iter()
+                .zip(ops_paper.iter())
+                .any(|(a, b)| a.host != b.host || a.guest != b.guest)
+        {
+            return Err(TensorError::InvalidArgument {
+                op: "run_search::propose",
+                msg: "mini/paper mutation replay diverged".to_string(),
+            });
+        }
+        return Ok(Some((cand_mini, cand_paper)));
+    }
+    Ok(None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    iter: usize,
+    status: CandidateStatus,
+    from_elite: bool,
+    drop: f32,
+    met: bool,
+    cand_latency: f64,
+    best: &BestModel,
+    epochs: usize,
+    clock: &VirtualClock,
+    wall_start: Instant,
+) -> TraceRecord {
+    TraceRecord {
+        iter,
+        status,
+        from_elite,
+        drop,
+        met_target: met,
+        candidate_latency_ms: cand_latency,
+        best_latency_ms: best.latency_ms,
+        epochs,
+        virtual_hours: clock.hours(),
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SurrogateContext;
+    use gmorph_data::TaskSpec;
+    use gmorph_graph::parser::parse_specs;
+    use gmorph_perf::accuracy::SurrogateParams;
+    use gmorph_models::families::{vgg, VggDepth, VisionScale};
+
+    fn setup() -> (AbsGraph, AbsGraph, WeightStore, EvalMode) {
+        let t0 = TaskSpec::classification("a", 2);
+        let t1 = TaskSpec::classification("b", 3);
+        let mini = parse_specs(&[
+            vgg(VggDepth::Vgg13, VisionScale::mini(), &t0).unwrap(),
+            vgg(VggDepth::Vgg13, VisionScale::mini(), &t1).unwrap(),
+        ])
+        .unwrap();
+        let paper = parse_specs(&[
+            vgg(VggDepth::Vgg13, VisionScale::paper(), &t0).unwrap(),
+            vgg(VggDepth::Vgg13, VisionScale::paper(), &t1).unwrap(),
+        ])
+        .unwrap();
+        let mut weights = WeightStore::new();
+        for (_, n) in mini.iter() {
+            weights.insert(n.key(), n.spec.clone(), Vec::new());
+        }
+        let mode = EvalMode::Surrogate(SurrogateContext {
+            orig_capacity: CapacityVector::of(&mini).unwrap(),
+            params: SurrogateParams::default(),
+            teacher_scores: vec![0.85, 0.80],
+        });
+        (mini, paper, weights, mode)
+    }
+
+    fn quick_cfg(iterations: usize) -> SearchConfig {
+        SearchConfig {
+            iterations,
+            finetune: FinetuneConfig {
+                max_epochs: 20,
+                eval_every: 2,
+                target_drop: 0.02,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn search_finds_a_faster_satisfying_model() {
+        let (mini, paper, weights, mode) = setup();
+        let res = run_search(&mini, &paper, &weights, &mode, &quick_cfg(40)).unwrap();
+        assert!(res.speedup > 1.05, "speedup = {}", res.speedup);
+        assert!(res.best.drop <= 0.02 + 1e-6);
+        assert!(res.evaluated > 0);
+        assert_eq!(res.trace.len(), 40);
+        res.best.mini.validate().unwrap();
+        res.best.paper.validate().unwrap();
+    }
+
+    #[test]
+    fn best_latency_is_monotone_along_trace() {
+        let (mini, paper, weights, mode) = setup();
+        let res = run_search(&mini, &paper, &weights, &mode, &quick_cfg(30)).unwrap();
+        for w in res.trace.windows(2) {
+            assert!(w[1].best_latency_ms <= w[0].best_latency_ms + 1e-9);
+        }
+        // Virtual time is monotone too.
+        for w in res.trace.windows(2) {
+            assert!(w[1].virtual_hours >= w[0].virtual_hours);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let (mini, paper, weights, mode) = setup();
+        let a = run_search(&mini, &paper, &weights, &mode, &quick_cfg(15)).unwrap();
+        let b = run_search(&mini, &paper, &weights, &mode, &quick_cfg(15)).unwrap();
+        assert_eq!(a.best.latency_ms, b.best.latency_ms);
+        assert_eq!(a.evaluated, b.evaluated);
+    }
+
+    #[test]
+    fn rule_filter_skips_candidates() {
+        let (mini, paper, weights, mode) = setup();
+        let mut cfg = quick_cfg(50);
+        // A strict target makes most candidates fail, feeding the filter.
+        cfg.finetune.target_drop = 0.0;
+        cfg.rule_filter = true;
+        let res = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        assert!(
+            res.rule_filtered > 0,
+            "rule filter never fired ({} evaluated)",
+            res.evaluated
+        );
+    }
+
+    #[test]
+    fn early_termination_reduces_epochs() {
+        let (mini, paper, weights, mode) = setup();
+        let mut base_cfg = quick_cfg(30);
+        base_cfg.finetune.target_drop = 0.0;
+        base_cfg.finetune.max_epochs = 40;
+        let plain = run_search(&mini, &paper, &weights, &mode, &base_cfg).unwrap();
+        let mut et_cfg = base_cfg.clone();
+        et_cfg.finetune.early_termination = true;
+        let et = run_search(&mini, &paper, &weights, &mode, &et_cfg).unwrap();
+        assert!(
+            et.virtual_hours < plain.virtual_hours,
+            "P variant not cheaper: {} vs {}",
+            et.virtual_hours,
+            plain.virtual_hours
+        );
+        assert!(et.early_terminated > 0);
+    }
+
+    #[test]
+    fn random_policy_never_uses_elites() {
+        let (mini, paper, weights, mode) = setup();
+        let mut cfg = quick_cfg(20);
+        cfg.policy = PolicyKind::RandomSampling;
+        let res = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        // Still functional: finds something or keeps the original.
+        assert!(res.speedup >= 1.0);
+    }
+
+    #[test]
+    fn duplicate_candidates_are_skipped() {
+        let (mini, paper, weights, mode) = setup();
+        let mut cfg = quick_cfg(60);
+        cfg.max_ops_per_pass = 1;
+        let res = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        // With 60 single-op rounds over a modest pair set, repeats occur.
+        assert!(res.duplicates > 0);
+    }
+
+    #[test]
+    fn flops_objective_optimizes_flops() {
+        let (mini, paper, weights, mode) = setup();
+        let mut cfg = quick_cfg(30);
+        cfg.objective = Objective::Flops;
+        let res = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        // Best model's FLOPs must not exceed the original's.
+        assert!(res.best.paper.flops().unwrap() <= paper.flops().unwrap());
+        res.best.mini.validate().unwrap();
+    }
+
+    #[test]
+    fn single_model_graph_still_searches_in_branch() {
+        // With one model there are no cross-branch pairs, but in-branch
+        // mutations (panel 1) remain legal.
+        let t0 = TaskSpec::classification("solo", 2);
+        let mini = parse_specs(&[vgg(VggDepth::Vgg13, VisionScale::mini(), &t0).unwrap()])
+            .unwrap();
+        let paper = parse_specs(&[vgg(VggDepth::Vgg13, VisionScale::paper(), &t0).unwrap()])
+            .unwrap();
+        let mut weights = WeightStore::new();
+        for (_, n) in mini.iter() {
+            weights.insert(n.key(), n.spec.clone(), Vec::new());
+        }
+        let mode = EvalMode::Surrogate(SurrogateContext {
+            orig_capacity: CapacityVector::of(&mini).unwrap(),
+            params: SurrogateParams::default(),
+            teacher_scores: vec![0.9],
+        });
+        let res = run_search(&mini, &paper, &weights, &mode, &quick_cfg(20)).unwrap();
+        assert!(res.speedup >= 1.0);
+        res.best.mini.validate().unwrap();
+    }
+
+    #[test]
+    fn trace_statuses_are_consistent_with_counters() {
+        let (mini, paper, weights, mode) = setup();
+        let mut cfg = quick_cfg(40);
+        cfg.rule_filter = true;
+        cfg.finetune.target_drop = 0.0;
+        cfg.finetune.early_termination = true;
+        let res = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        let count = |st: CandidateStatus| {
+            res.trace.iter().filter(|r| r.status == st).count()
+        };
+        assert_eq!(count(CandidateStatus::RuleFiltered), res.rule_filtered);
+        assert_eq!(count(CandidateStatus::Duplicate), res.duplicates);
+        assert_eq!(count(CandidateStatus::TerminatedEarly), res.early_terminated);
+        assert_eq!(
+            count(CandidateStatus::Evaluated) + res.early_terminated,
+            res.evaluated
+        );
+    }
+
+    #[test]
+    fn mismatched_scales_rejected() {
+        let (mini, _, weights, mode) = setup();
+        let t0 = TaskSpec::classification("a", 2);
+        let short = parse_specs(&[vgg(
+            VggDepth::Vgg11,
+            VisionScale::paper(),
+            &t0,
+        )
+        .unwrap()])
+        .unwrap();
+        assert!(run_search(&mini, &short, &weights, &mode, &quick_cfg(5)).is_err());
+    }
+}

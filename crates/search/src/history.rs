@@ -1,0 +1,154 @@
+//! The History Database: evaluated candidates and elite models.
+//!
+//! The Graph Mutator "saves abstract graphs and model weights in its
+//! History Database" (§3). Elites are candidates that met the accuracy
+//! target; they are the mutation bases exploitation draws from, and their
+//! well-trained weights seed the mutations' initialization (§2.2.2).
+
+use gmorph_graph::{AbsGraph, WeightStore};
+use std::collections::HashSet;
+
+/// A candidate that met the accuracy target.
+#[derive(Debug, Clone)]
+pub struct Elite {
+    /// Mini-scale (trainable) abstract graph.
+    pub mini: AbsGraph,
+    /// Paper-scale (estimation) abstract graph, node-id aligned with
+    /// `mini`.
+    pub paper: AbsGraph,
+    /// Well-trained weights of the mini-scale model.
+    pub weights: WeightStore,
+    /// Accuracy drop achieved after fine-tuning.
+    pub drop: f32,
+    /// Optimized-metric value (paper-scale estimated latency, ms).
+    pub latency_ms: f64,
+    /// Per-task scores after fine-tuning.
+    pub scores: Vec<f32>,
+}
+
+/// Evaluated-candidate and elite bookkeeping.
+#[derive(Debug, Clone)]
+pub struct History {
+    evaluated: HashSet<String>,
+    elites: Vec<Elite>,
+    max_elites: usize,
+}
+
+impl History {
+    /// Creates a history with the given elite-list capacity (paper: 16).
+    pub fn new(max_elites: usize) -> Self {
+        History {
+            evaluated: HashSet::new(),
+            elites: Vec::new(),
+            max_elites: max_elites.max(1),
+        }
+    }
+
+    /// Number of elites currently held.
+    pub fn elite_count(&self) -> usize {
+        self.elites.len()
+    }
+
+    /// Elite-list capacity (`N_i` in the sampling-probability formula).
+    pub fn max_elites(&self) -> usize {
+        self.max_elites
+    }
+
+    /// Read access to the elites.
+    pub fn elites(&self) -> &[Elite] {
+        &self.elites
+    }
+
+    /// Records a candidate signature; returns false when it was already
+    /// evaluated (the caller should skip it).
+    pub fn record_evaluated(&mut self, signature: String) -> bool {
+        self.evaluated.insert(signature)
+    }
+
+    /// True when the signature was evaluated before.
+    pub fn seen(&self, signature: &str) -> bool {
+        self.evaluated.contains(signature)
+    }
+
+    /// Number of distinct candidates evaluated.
+    pub fn evaluated_count(&self) -> usize {
+        self.evaluated.len()
+    }
+
+    /// Adds an elite, evicting the slowest one when full.
+    pub fn add_elite(&mut self, elite: Elite) {
+        if self.elites.len() >= self.max_elites {
+            // Keep the list focused on the fastest satisfying models.
+            if let Some((worst_idx, worst)) = self
+                .elites
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.latency_ms
+                        .partial_cmp(&b.1.latency_ms)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+            {
+                if worst.latency_ms > elite.latency_ms {
+                    self.elites[worst_idx] = elite;
+                }
+                return;
+            }
+        }
+        self.elites.push(elite);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmorph_data::TaskSpec;
+
+    fn elite(latency: f64) -> Elite {
+        let g = AbsGraph::new(vec![3, 8, 8], vec![TaskSpec::classification("t", 2)]);
+        Elite {
+            mini: g.clone(),
+            paper: g,
+            weights: WeightStore::new(),
+            drop: 0.0,
+            latency_ms: latency,
+            scores: vec![0.9],
+        }
+    }
+
+    #[test]
+    fn dedup_by_signature() {
+        let mut h = History::new(4);
+        assert!(h.record_evaluated("a".to_string()));
+        assert!(!h.record_evaluated("a".to_string()));
+        assert!(h.seen("a"));
+        assert!(!h.seen("b"));
+        assert_eq!(h.evaluated_count(), 1);
+    }
+
+    #[test]
+    fn elites_grow_until_capacity() {
+        let mut h = History::new(3);
+        for i in 0..3 {
+            h.add_elite(elite(i as f64));
+        }
+        assert_eq!(h.elite_count(), 3);
+        assert_eq!(h.max_elites(), 3);
+    }
+
+    #[test]
+    fn elite_capacity_evicts_slowest() {
+        let mut h = History::new(2);
+        h.add_elite(elite(5.0));
+        h.add_elite(elite(3.0));
+        assert_eq!(h.elite_count(), 2);
+        // A faster elite replaces the 5.0 one.
+        h.add_elite(elite(1.0));
+        assert_eq!(h.elite_count(), 2);
+        let lats: Vec<f64> = h.elites().iter().map(|e| e.latency_ms).collect();
+        assert!(lats.contains(&1.0) && lats.contains(&3.0));
+        // A slower elite is rejected when full.
+        h.add_elite(elite(9.0));
+        assert!(!h.elites().iter().any(|e| e.latency_ms == 9.0));
+    }
+}

@@ -1,0 +1,26 @@
+//! Graph-mutation search (§3, Algorithm 1) for the GMorph reproduction.
+//!
+//! - [`policy`]: sampling policies — the simulated-annealing policy of
+//!   §4.3.1 (elite list, temperature schedule, elite-sampling probability)
+//!   and the random-sampling baseline of §6.4,
+//! - [`history`]: the History Database of evaluated candidates and elites,
+//! - [`evaluator`]: the accuracy-evaluation backend — `Real` (distillation
+//!   fine-tuning of the mini-scale model) or `Surrogate` (calibrated
+//!   analytic model; see DESIGN.md §1),
+//! - [`driver`]: Algorithm 1 — the graph mutation optimization loop with
+//!   predictive filtering and dual-scale (mini + paper) graph tracking,
+//! - [`parallel`]: batch candidate evaluation on worker threads (§7's
+//!   "sampling multiple models in parallel" extension).
+
+pub mod batched;
+pub mod driver;
+pub mod evaluator;
+pub mod history;
+pub mod parallel;
+pub mod policy;
+
+pub use batched::{run_search_batched, BatchedResult};
+pub use driver::{run_search, SearchConfig, SearchResult, TraceRecord};
+pub use evaluator::{EvalMode, RealContext, SurrogateContext};
+pub use history::{Elite, History};
+pub use policy::{PolicyKind, SimulatedAnnealing};

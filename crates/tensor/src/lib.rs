@@ -1,0 +1,105 @@
+//! Minimal CPU tensor library underpinning the GMorph reproduction.
+//!
+//! The paper's artifact runs on PyTorch; this crate is the from-scratch
+//! substitute. It provides exactly the primitives the rest of the stack
+//! needs to *train* (not just run) the computation blocks GMorph mutates:
+//!
+//! - [`Shape`] / [`Tensor`]: dense row-major `f32` tensors with shape math,
+//! - [`gemm`]: blocked matrix multiplication (the hot path of every layer),
+//! - [`conv`]: im2col-based 2D convolution with backward passes,
+//! - [`pool`]: max/avg pooling with backward passes,
+//! - [`interp`]: nearest/bilinear resizing (the re-scale operator inserted
+//!   between shared features of mismatched shapes, §4.1 of the paper),
+//! - [`ops`]: activations, softmax, and reductions,
+//! - [`rng`]: deterministic seeded random number utilities,
+//! - [`serialize`]: a tiny binary format for weight caching.
+//!
+//! Everything is safe Rust and single-threaded; model parallelism lives in
+//! higher layers.
+
+pub mod conv;
+pub mod gemm;
+pub mod interp;
+pub mod ops;
+pub mod pool;
+pub mod rng;
+pub mod serialize;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Shape mismatches are programming errors in most deep-learning code, but
+/// GMorph *generates* graphs programmatically, so shape failures must be
+/// recoverable: a bad mutation should be rejected, not abort the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Context string naming the operation that failed.
+        op: &'static str,
+        /// Textual rendering of the left-hand shape.
+        lhs: String,
+        /// Textual rendering of the right-hand shape.
+        rhs: String,
+    },
+    /// A tensor had the wrong rank for an operation.
+    RankMismatch {
+        /// Context string naming the operation that failed.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// Context string naming the operation that failed.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The bound it violated.
+        bound: usize,
+    },
+    /// An operation received an invalid argument (zero-sized dim, etc).
+    InvalidArgument {
+        /// Context string naming the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// Serialization / deserialization failure.
+    Io(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch between {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::OutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds ({bound})")
+            }
+            TensorError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),
+            TensorError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,267 @@
+//! Activation functions, softmax, and small reductions.
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// ReLU forward: `max(x, 0)`.
+pub fn relu_forward(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: gradient flows where the *input* was positive.
+pub fn relu_backward(grad_out: &Tensor, input: &Tensor) -> Result<Tensor> {
+    grad_out.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
+}
+
+/// GELU forward (tanh approximation, as used by ViT/BERT).
+pub fn gelu_forward(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// GELU backward via the derivative of the tanh approximation.
+pub fn gelu_backward(grad_out: &Tensor, input: &Tensor) -> Result<Tensor> {
+    grad_out.zip(input, |g, x| {
+        const C: f32 = 0.797_884_6;
+        let u = C * (x + 0.044715 * x * x * x);
+        let t = u.tanh();
+        let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+        let d = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du;
+        g * d
+    })
+}
+
+/// Tanh forward.
+pub fn tanh_forward(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Tanh backward given the *output* of the forward pass.
+pub fn tanh_backward(grad_out: &Tensor, output: &Tensor) -> Result<Tensor> {
+    grad_out.zip(output, |g, y| g * (1.0 - y * y))
+}
+
+/// Sigmoid forward.
+pub fn sigmoid_forward(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Sigmoid backward given the *output* of the forward pass.
+pub fn sigmoid_backward(grad_out: &Tensor, output: &Tensor) -> Result<Tensor> {
+    grad_out.zip(output, |g, y| g * y * (1.0 - y))
+}
+
+/// Row-wise softmax over the last dimension of a rank-2 tensor.
+///
+/// Numerically stabilized by subtracting the row max.
+///
+/// # Examples
+///
+/// ```
+/// use gmorph_tensor::{Tensor, ops::softmax_rows};
+///
+/// let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+/// let p = softmax_rows(&x).unwrap();
+/// assert!((p.sum() - 1.0).abs() < 1e-5);
+/// ```
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax_rows",
+            expected: 2,
+            actual: x.shape().rank(),
+        });
+    }
+    let (n, c) = (x.dims()[0], x.dims()[1]);
+    let mut out = x.clone();
+    let d = out.data_mut();
+    for i in 0..n {
+        let row = &mut d[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of row-wise softmax given its output `p` and `dL/dp`.
+///
+/// Uses the Jacobian-vector product `dL/dx_j = p_j (g_j - Σ_i g_i p_i)`.
+pub fn softmax_rows_backward(grad_out: &Tensor, output: &Tensor) -> Result<Tensor> {
+    if grad_out.dims() != output.dims() {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax_rows_backward",
+            lhs: grad_out.shape().to_string(),
+            rhs: output.shape().to_string(),
+        });
+    }
+    let (n, c) = (output.dims()[0], output.dims()[1]);
+    let mut gi = Tensor::zeros(output.dims());
+    for i in 0..n {
+        let p = &output.data()[i * c..(i + 1) * c];
+        let g = &grad_out.data()[i * c..(i + 1) * c];
+        let dot: f32 = p.iter().zip(g.iter()).map(|(a, b)| a * b).sum();
+        let row = &mut gi.data_mut()[i * c..(i + 1) * c];
+        for j in 0..c {
+            row[j] = p[j] * (g[j] - dot);
+        }
+    }
+    Ok(gi)
+}
+
+/// Row-wise log-softmax over the last dimension of a rank-2 tensor.
+pub fn log_softmax_rows(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "log_softmax_rows",
+            expected: 2,
+            actual: x.shape().rank(),
+        });
+    }
+    let (n, c) = (x.dims()[0], x.dims()[1]);
+    let mut out = x.clone();
+    let d = out.data_mut();
+    for i in 0..n {
+        let row = &mut d[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn numerical_check(
+        fwd: impl Fn(&Tensor) -> Tensor,
+        bwd: impl Fn(&Tensor, &Tensor) -> Tensor,
+        uses_output: bool,
+    ) {
+        let mut rng = Rng::new(5);
+        let x = Tensor::randn(&[8], 1.0, &mut rng);
+        let y = fwd(&x);
+        let ones = Tensor::ones(&[8]);
+        let state = if uses_output { &y } else { &x };
+        let ana = bwd(&ones, state);
+        let eps = 1e-3;
+        for i in 0..8 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (fwd(&xp).sum() - fwd(&xm).sum()) / (2.0 * eps);
+            assert!(
+                (num - ana.data()[i]).abs() < 2e-2,
+                "grad[{i}]: {num} vs {}",
+                ana.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_grad_checks() {
+        numerical_check(relu_forward, |g, x| relu_backward(g, x).unwrap(), false);
+    }
+
+    #[test]
+    fn gelu_grad_checks() {
+        numerical_check(gelu_forward, |g, x| gelu_backward(g, x).unwrap(), false);
+    }
+
+    #[test]
+    fn tanh_grad_checks() {
+        numerical_check(tanh_forward, |g, y| tanh_backward(g, y).unwrap(), true);
+    }
+
+    #[test]
+    fn sigmoid_grad_checks() {
+        numerical_check(
+            sigmoid_forward,
+            |g, y| sigmoid_backward(g, y).unwrap(),
+            true,
+        );
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[4, 7], 3.0, &mut rng);
+        let p = softmax_rows(&x).unwrap();
+        for i in 0..4 {
+            let s: f32 = p.data()[i * 7..(i + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        for &v in p.data() {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let shifted = x.map(|v| v + 100.0);
+        let a = softmax_rows(&x).unwrap();
+        let b = softmax_rows(&shifted).unwrap();
+        for (p, q) in a.data().iter().zip(b.data().iter()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_grad_checks() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let g = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let p = softmax_rows(&x).unwrap();
+        let gi = softmax_rows_backward(&g, &p).unwrap();
+        let eps = 1e-3;
+        let loss = |t: &Tensor| -> f32 {
+            softmax_rows(t)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(g.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for i in 0..8 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - gi.data()[i]).abs() < 1e-2,
+                "{num} vs {}",
+                gi.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let mut rng = Rng::new(3);
+        let x = Tensor::randn(&[3, 5], 2.0, &mut rng);
+        let a = log_softmax_rows(&x).unwrap();
+        let b = softmax_rows(&x).unwrap().map(|v| v.ln());
+        for (p, q) in a.data().iter().zip(b.data().iter()) {
+            assert!((p - q).abs() < 1e-4);
+        }
+    }
+}

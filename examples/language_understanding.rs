@@ -1,0 +1,69 @@
+//! General Language Understanding (the paper's B7): grammaticality and
+//! sentiment classifiers with different encoder widths and depths fused
+//! into one model.
+//!
+//! BERT-Large and BERT-Base share no identical layers (widths differ), so
+//! MTL baselines cannot fuse them; GMorph shares encoder features through
+//! token-axis/width re-scale adapters.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example language_understanding
+//! ```
+
+use gmorph::prelude::*;
+
+fn main() -> gmorph::tensor::Result<()> {
+    println!("== Language Understanding: CoLANet (BERT-Large) + SSTNet (BERT-Base) ==");
+    let bench = build_benchmark(BenchId::B7, &DataProfile::standard(), 21)?;
+    let session = Session::prepare(
+        bench,
+        &SessionConfig {
+            seed: 21,
+            ..Default::default()
+        },
+    )?;
+    for (spec, score) in session.bench.mini.iter().zip(&session.teacher_scores) {
+        println!("teacher {:<24} score {:.3}", spec.name, score);
+    }
+    println!(
+        "identical common prefix: {} blocks (MTL baselines cannot share)",
+        baselines::common_prefix_len(&session.bench.mini)
+    );
+
+    for &threshold in &[0.0f32, 0.02] {
+        let cfg = OptimizationConfig {
+            accuracy_threshold: threshold,
+            iterations: 60,
+            mode: AccuracyMode::Surrogate,
+            max_epochs: 16,
+            eval_every: 2,
+            seed: 21,
+            ..Default::default()
+        };
+        let result = session.optimize(&cfg)?;
+        println!(
+            "budget {:>4.1}%: {:7.2} ms -> {:7.2} ms ({:.2}x), drop {:.2}%",
+            threshold * 100.0,
+            result.original_latency_ms,
+            result.best.latency_ms,
+            result.speedup,
+            result.best.drop.max(0.0) * 100.0
+        );
+    }
+
+    // Show one fused architecture.
+    let cfg = OptimizationConfig {
+        accuracy_threshold: 0.02,
+        iterations: 40,
+        mode: AccuracyMode::Surrogate,
+        max_epochs: 16,
+        eval_every: 2,
+        seed: 22,
+        ..Default::default()
+    };
+    let result = session.optimize(&cfg)?;
+    println!("\nfused architecture:\n{}", result.best.mini.render());
+    Ok(())
+}

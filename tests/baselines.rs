@@ -1,0 +1,114 @@
+//! Baseline comparisons (§6.3): All-shared and TreeMTL vs GMorph across
+//! the structural regimes the paper highlights.
+
+use gmorph::baselines;
+use gmorph::perf::estimator::{estimate_latency_ms, Backend};
+use gmorph::prelude::*;
+
+fn bench(id: BenchId) -> gmorph::models::zoo::BenchmarkDef {
+    build_benchmark(id, &DataProfile::smoke(), 3).unwrap()
+}
+
+#[test]
+fn b1_all_shared_merges_entire_backbone() {
+    // Three identical VGG-13s: everything but the heads shares.
+    let b = bench(BenchId::B1);
+    let g = baselines::all_shared(&b.paper).unwrap();
+    let original = gmorph::graph::parser::parse_specs(&b.paper).unwrap();
+    let shared_latency = estimate_latency_ms(&g, Backend::Eager).unwrap();
+    let orig_latency = estimate_latency_ms(&original, Backend::Eager).unwrap();
+    let speedup = orig_latency / shared_latency;
+    // Sharing a 3-way backbone should approach 3x.
+    assert!(speedup > 2.0, "speedup {speedup}");
+}
+
+#[test]
+fn b3_heterogeneous_vggs_share_one_layer() {
+    // VGG-13 / VGG-16 / VGG-11 share only the first convolution, so the
+    // All-shared baseline brings almost nothing (paper: 1.08-1.16x).
+    let b = bench(BenchId::B3);
+    assert_eq!(baselines::common_prefix_len(&b.paper), 1);
+    let g = baselines::all_shared(&b.paper).unwrap();
+    let original = gmorph::graph::parser::parse_specs(&b.paper).unwrap();
+    let speedup = estimate_latency_ms(&original, Backend::Eager).unwrap()
+        / estimate_latency_ms(&g, Backend::Eager).unwrap();
+    assert!(speedup < 1.2, "speedup {speedup}");
+    assert!(speedup >= 1.0);
+}
+
+#[test]
+fn b5_b6_b7_mtl_baselines_cannot_share() {
+    // Entirely different backbones or widths: no identical layers at all.
+    for id in [BenchId::B5, BenchId::B6, BenchId::B7] {
+        let b = bench(id);
+        assert_eq!(
+            baselines::common_prefix_len(&b.paper),
+            0,
+            "{id} should have no identical prefix"
+        );
+        let g = baselines::all_shared(&b.paper).unwrap();
+        let original = gmorph::graph::parser::parse_specs(&b.paper).unwrap();
+        assert_eq!(g.len(), original.len(), "{id}: nothing to merge");
+    }
+}
+
+#[test]
+fn gmorph_beats_mtl_baselines_on_heterogeneous_benchmarks() {
+    // The paper's headline §6.3 claim, at B3: MTL ≤ ~1.2x, GMorph higher.
+    let bench = build_benchmark(BenchId::B3, &DataProfile::smoke(), 19).unwrap();
+    let session = Session::prepare(
+        bench,
+        &SessionConfig {
+            teacher: gmorph::models::train::TrainConfig {
+                epochs: 1,
+                batch: 32,
+                lr: 3e-3,
+                seed: 19,
+            },
+            seed: 19,
+            use_cache: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (_, all_shared_paper) = session.all_shared().unwrap();
+    let mtl_speedup = session.original_latency_ms(Backend::Eager).unwrap()
+        / estimate_latency_ms(&all_shared_paper, Backend::Eager).unwrap();
+
+    let cfg = OptimizationConfig {
+        accuracy_threshold: 0.02,
+        iterations: 40,
+        mode: AccuracyMode::Surrogate,
+        max_epochs: 30,
+        eval_every: 2,
+        seed: 19,
+        ..Default::default()
+    };
+    let result = session.optimize(&cfg).unwrap();
+    assert!(
+        result.speedup > mtl_speedup,
+        "GMorph {:.2}x vs MTL {:.2}x",
+        result.speedup,
+        mtl_speedup
+    );
+}
+
+#[test]
+fn treemtl_recommendations_are_structurally_valid() {
+    for id in [BenchId::B1, BenchId::B2, BenchId::B4] {
+        let b = bench(id);
+        for threshold in [0.0f32, 0.01, 0.02] {
+            let g = baselines::treemtl_recommend(&b.paper, threshold).unwrap();
+            g.validate().unwrap();
+            assert_eq!(g.head_of_task().unwrap().len(), b.paper.len());
+        }
+    }
+}
+
+#[test]
+fn treemtl_shares_more_than_nothing_on_b1() {
+    let b = bench(BenchId::B1);
+    let g = baselines::treemtl_recommend(&b.paper, 0.01).unwrap();
+    let original = gmorph::graph::parser::parse_specs(&b.paper).unwrap();
+    assert!(g.flops().unwrap() < original.flops().unwrap());
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration tests: teachers → parse → mutate → generate →
+//! distillation fine-tune → measure, all with real training.
+
+use gmorph::perf::estimator::measure_latency_ms;
+use gmorph::prelude::*;
+use gmorph::search::driver::CandidateStatus;
+
+fn quick_session(id: BenchId, seed: u64) -> Session {
+    let bench = build_benchmark(id, &DataProfile::smoke(), seed).unwrap();
+    Session::prepare(
+        bench,
+        &SessionConfig {
+            teacher: gmorph::models::train::TrainConfig {
+                epochs: 2,
+                batch: 32,
+                lr: 3e-3,
+                seed,
+            },
+            seed,
+            use_cache: false,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn real_mode_search_produces_a_valid_trained_model() {
+    let session = quick_session(BenchId::B1, 5);
+    let cfg = OptimizationConfig {
+        accuracy_threshold: 0.05,
+        iterations: 5,
+        mode: AccuracyMode::Real,
+        max_epochs: 3,
+        eval_every: 1,
+        lr: 1e-3,
+        seed: 5,
+        ..Default::default()
+    };
+    let result = session.optimize(&cfg).unwrap();
+    result.best.mini.validate().unwrap();
+    result.best.paper.validate().unwrap();
+    assert!(result.evaluated > 0, "nothing was fine-tuned");
+    assert!(result.wall_seconds > 0.0);
+    // The best model materializes and runs on real data.
+    let mut tree = session
+        .materialize(&result.best.mini, &result.best.weights)
+        .unwrap();
+    let x = session.split.test.inputs.select_rows(&[0, 1]).unwrap();
+    let ys = tree.forward(&x, Mode::Eval).unwrap();
+    assert_eq!(ys.len(), session.bench.mini.len());
+}
+
+#[test]
+fn fused_model_is_measurably_faster_when_sharing_lands() {
+    let session = quick_session(BenchId::B1, 9);
+    let cfg = OptimizationConfig {
+        accuracy_threshold: 0.08, // Loose budget: sharing will land.
+        iterations: 8,
+        mode: AccuracyMode::Real,
+        max_epochs: 3,
+        eval_every: 1,
+        lr: 1e-3,
+        seed: 9,
+        ..Default::default()
+    };
+    let result = session.optimize(&cfg).unwrap();
+    if result.speedup > 1.0 {
+        // Estimated speedup must be corroborated by the real engine.
+        let x = session.split.test.inputs.select_rows(&[0, 1, 2, 3]).unwrap();
+        let mut orig = session
+            .materialize(&session.mini_graph, &session.weights)
+            .unwrap();
+        let mut fused = session
+            .materialize(&result.best.mini, &result.best.weights)
+            .unwrap();
+        let lat_orig = measure_latency_ms(&mut orig, &x, 1, 7).unwrap();
+        let lat_fused = measure_latency_ms(&mut fused, &x, 1, 7).unwrap();
+        assert!(
+            lat_fused < lat_orig * 1.02,
+            "estimated speedup {:.2} but measured {:.2} -> {:.2} ms",
+            result.speedup,
+            lat_orig,
+            lat_fused
+        );
+    }
+}
+
+#[test]
+fn real_mode_drop_is_anchored_to_teacher_scores() {
+    let session = quick_session(BenchId::B4, 13);
+    // Teachers were just trained; their scores should be meaningful.
+    for (spec, &score) in session.bench.mini.iter().zip(&session.teacher_scores) {
+        assert!(
+            (0.0..=1.0).contains(&score),
+            "{}: score {score}",
+            spec.name
+        );
+    }
+    let cfg = OptimizationConfig {
+        accuracy_threshold: 0.10,
+        iterations: 3,
+        mode: AccuracyMode::Real,
+        max_epochs: 2,
+        eval_every: 1,
+        lr: 1e-3,
+        seed: 13,
+        ..Default::default()
+    };
+    let result = session.optimize(&cfg).unwrap();
+    for rec in &result.trace {
+        if rec.status == CandidateStatus::Evaluated {
+            assert!(rec.drop.is_finite());
+            // Drop can't exceed the teachers' own scores.
+            let max_teacher = session
+                .teacher_scores
+                .iter()
+                .cloned()
+                .fold(0.0f32, f32::max);
+            assert!(rec.drop <= max_teacher + 1e-5);
+        }
+    }
+}
+
+#[test]
+fn surrogate_and_real_agree_that_original_is_lossless() {
+    // The unmutated graph must meet any nonnegative threshold under both
+    // evaluation modes (it *is* the teachers).
+    let session = quick_session(BenchId::B1, 17);
+    for mode in [AccuracyMode::Real, AccuracyMode::Surrogate] {
+        let eval = session.eval_mode(mode).unwrap();
+        let cfg = gmorph::perf::accuracy::FinetuneConfig {
+            max_epochs: 2,
+            eval_every: 1,
+            target_drop: 0.05,
+            lr: 5e-4,
+            batch: 32,
+            ..Default::default()
+        };
+        let mut rng = Rng::new(0);
+        let ev = eval
+            .evaluate(&session.mini_graph, &session.weights, &cfg, &mut rng, 1)
+            .unwrap();
+        assert!(
+            ev.result.met_target,
+            "{mode:?}: drop {}",
+            ev.result.final_drop
+        );
+    }
+}

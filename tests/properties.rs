@@ -1,0 +1,166 @@
+//! Cross-crate property tests on the search-level invariants.
+
+use gmorph::graph::pairs::{pairs_with, PairPolicy};
+use gmorph::graph::{mutation, parser, CapacityVector};
+use gmorph::prelude::*;
+use gmorph::tensor::rng::Rng;
+use proptest::prelude::*;
+
+fn b3_graph() -> AbsGraph {
+    let bench = build_benchmark(BenchId::B3, &DataProfile::smoke(), 1).unwrap();
+    parser::parse_specs(&bench.mini).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sequence of sampled mutation passes keeps the graph valid,
+    /// keeps every task's head, and never increases FLOPs-per-shared-path
+    /// beyond the original.
+    #[test]
+    fn mutation_passes_preserve_invariants(seed in 0u64..500, rounds in 1usize..4) {
+        let mut g = b3_graph();
+        let original_flops = g.flops().unwrap();
+        let mut rng = Rng::new(seed);
+        for _ in 0..rounds {
+            let pairs = pairs_with(&g, PairPolicy::SimilarShape).unwrap();
+            if pairs.is_empty() {
+                break;
+            }
+            let chosen = pairs[rng.below(pairs.len())];
+            let (next, ops) = mutation::mutation_pass(&g, &[chosen]).unwrap();
+            if ops.is_empty() {
+                continue;
+            }
+            next.validate().unwrap();
+            prop_assert_eq!(next.head_of_task().unwrap().len(), 3);
+            g = next;
+        }
+        // Sharing removes computation but may add re-scale adapters whose
+        // cost is not bounded by what was removed (the search objective,
+        // not an invariant, rejects such candidates). The invariant is on
+        // the *original* computation: non-rescale work never grows.
+        let non_rescale: u64 = g
+            .iter()
+            .filter(|(_, n)| !matches!(n.spec, BlockSpec::Rescale { .. }))
+            .map(|(_, n)| n.spec.flops(&n.input_shape).unwrap())
+            .sum();
+        prop_assert!(non_rescale <= original_flops);
+    }
+
+    /// Capacity vectors shrink (weakly) under mutation: total parameters
+    /// never grow except by small rescale adapters.
+    #[test]
+    fn mutation_never_inflates_capacity_much(seed in 0u64..500) {
+        let g = b3_graph();
+        let before = CapacityVector::of(&g).unwrap();
+        let mut rng = Rng::new(seed);
+        let pairs = pairs_with(&g, PairPolicy::SimilarShape).unwrap();
+        prop_assume!(!pairs.is_empty());
+        let chosen = pairs[rng.below(pairs.len())];
+        let (next, ops) = mutation::mutation_pass(&g, &[chosen]).unwrap();
+        prop_assume!(!ops.is_empty());
+        let after = CapacityVector::of(&next).unwrap();
+        // A rescale adapter is at most c_in*c_out+c_out parameters, far
+        // below any removed block.
+        prop_assert!(after.total <= before.total + 2 * 16 * 16 + 16);
+    }
+
+    /// The structural signature is sound: equal signatures mean equal
+    /// latency estimates and capacity vectors.
+    #[test]
+    fn signature_soundness(seed_a in 0u64..200, seed_b in 0u64..200) {
+        let g = b3_graph();
+        let pairs = pairs_with(&g, PairPolicy::SimilarShape).unwrap();
+        prop_assume!(pairs.len() >= 2);
+        let mut ra = Rng::new(seed_a);
+        let mut rb = Rng::new(seed_b);
+        let (ga, _) = mutation::mutation_pass(&g, &[pairs[ra.below(pairs.len())]]).unwrap();
+        let (gb, _) = mutation::mutation_pass(&g, &[pairs[rb.below(pairs.len())]]).unwrap();
+        if ga.signature() == gb.signature() {
+            prop_assert_eq!(ga.flops().unwrap(), gb.flops().unwrap());
+            prop_assert_eq!(
+                CapacityVector::of(&ga).unwrap(),
+                CapacityVector::of(&gb).unwrap()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Transformer graphs (different widths and depths, BERT-style) obey
+    /// the same mutation invariants as CNN graphs, including the rule
+    /// that token embeddings never receive re-scaled inputs.
+    #[test]
+    fn transformer_mutations_preserve_invariants(seed in 0u64..300, rounds in 1usize..4) {
+        let bench = build_benchmark(BenchId::B7, &DataProfile::smoke(), 2).unwrap();
+        let mut g = parser::parse_specs(&bench.mini).unwrap();
+        let mut rng = Rng::new(seed);
+        for _ in 0..rounds {
+            let prs = pairs_with(&g, PairPolicy::SimilarShape).unwrap();
+            if prs.is_empty() {
+                break;
+            }
+            let chosen = prs[rng.below(prs.len())];
+            let (next, ops) = mutation::mutation_pass(&g, &[chosen]).unwrap();
+            if ops.is_empty() {
+                continue;
+            }
+            next.validate().unwrap();
+            g = next;
+        }
+        // Token embeddings always consume the raw input.
+        for (_, n) in g.iter() {
+            if matches!(n.spec, BlockSpec::TokenEmbed { .. }) {
+                prop_assert_eq!(n.parent, None);
+            }
+        }
+        prop_assert_eq!(g.head_of_task().unwrap().len(), 2);
+    }
+
+    /// Any graph reachable by legal mutations can be materialized into a
+    /// runnable tree model with teacher-weight inheritance, and its
+    /// forward pass emits finite logits of the right widths.
+    #[test]
+    fn evolved_graphs_always_materialize_and_run(seed in 0u64..200) {
+        let bench = build_benchmark(BenchId::B3, &DataProfile::smoke(), 4).unwrap();
+        let mut rng = Rng::new(seed);
+        let teachers: Vec<_> = bench
+            .mini
+            .iter()
+            .map(|s| s.build(&mut rng).unwrap())
+            .collect();
+        let (mut g, store) = parser::parse_models(&teachers).unwrap();
+        for _ in 0..2 {
+            let prs = pairs_with(&g, PairPolicy::SimilarShape).unwrap();
+            prop_assume!(!prs.is_empty());
+            let chosen = prs[rng.below(prs.len())];
+            let (next, _) = mutation::mutation_pass(&g, &[chosen]).unwrap();
+            g = next;
+        }
+        let (mut tree, _) =
+            gmorph::graph::generator::generate(&g, &store, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 16, 16], 1.0, &mut rng);
+        let ys = tree.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(ys.len(), 3);
+        for (t, y) in ys.iter().enumerate() {
+            prop_assert_eq!(y.dims()[1], bench.mini[t].task.classes);
+            prop_assert!(y.data().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn serving_tasks_cover_every_head_path() {
+    let g = b3_graph();
+    let serving = g.serving_tasks().unwrap();
+    let heads = g.head_of_task().unwrap();
+    for (task, &head) in heads.iter().enumerate() {
+        assert!(serving[&head].contains(&task));
+        for anc in g.ancestors(head).unwrap() {
+            assert!(serving[&anc].contains(&task));
+        }
+    }
+}
