@@ -8,6 +8,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod kernels;
 pub mod table3;
 pub mod table4;
 pub mod table6;

@@ -42,10 +42,7 @@ pub fn all_shared(specs: &[ModelSpec]) -> Result<AbsGraph> {
     // Longest common prefix of identical block specs (never includes a
     // task head: heads differ per task and must stay private).
     let mut prefix = 0usize;
-    'outer: loop {
-        let Some(block) = first.blocks.get(prefix) else {
-            break;
-        };
+    'outer: while let Some(block) = first.blocks.get(prefix) {
         if matches!(block, gmorph_nn::BlockSpec::Head { .. }) {
             break;
         }

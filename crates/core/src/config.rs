@@ -27,6 +27,12 @@ pub struct SessionConfig {
     pub train_frac: f32,
     /// Use the on-disk teacher cache.
     pub use_cache: bool,
+    /// Kernel worker threads for this session. `None` keeps the process
+    /// default (the `GMORPH_THREADS` environment variable, falling back to
+    /// the machine's core count). Thread count never changes results —
+    /// kernels decompose by shape with fixed reduction orders — only
+    /// wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -41,6 +47,19 @@ impl Default for SessionConfig {
             seed: 0,
             train_frac: 0.75,
             use_cache: true,
+            threads: None,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Applies the thread setting to the process-wide kernel engine.
+    ///
+    /// Called by `Session::prepare`; callers driving the lower layers
+    /// directly can invoke it themselves.
+    pub fn apply_threads(&self) {
+        if let Some(n) = self.threads {
+            gmorph_tensor::engine::set_num_threads(n);
         }
     }
 }

@@ -45,7 +45,8 @@ pub struct Session {
 impl Session {
     /// Trains (or loads cached) teachers and parses the graphs.
     pub fn prepare(bench: BenchmarkDef, cfg: &SessionConfig) -> Result<Session> {
-        let mut rng = Rng::new(cfg.seed ^ 0x5E55_10);
+        cfg.apply_threads();
+        let mut rng = Rng::new(cfg.seed ^ 0x005E_5510);
         let split = bench.dataset.split(cfg.train_frac, &mut rng)?;
         let mut teachers = Vec::with_capacity(bench.mini.len());
         let mut teacher_scores = Vec::with_capacity(bench.mini.len());

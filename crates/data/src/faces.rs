@@ -211,8 +211,8 @@ mod tests {
         let mut counts = [0usize; 2];
         for (i, &l) in labels.iter().enumerate() {
             counts[l] += 1;
-            for j in 0..d {
-                centroids[l][j] += ds.inputs.data()[i * d + j];
+            for (j, cv) in centroids[l].iter_mut().enumerate() {
+                *cv += ds.inputs.data()[i * d + j];
             }
         }
         for (c, cnt) in centroids.iter_mut().zip(counts.iter()) {

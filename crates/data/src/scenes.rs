@@ -70,7 +70,7 @@ pub fn salient_classes(cfg: &ScenesConfig) -> usize {
 /// assert_eq!(ds.tasks[1].name, "SalientNet");
 /// ```
 pub fn generate(cfg: &ScenesConfig, rng: &mut Rng) -> Result<MultiTaskDataset> {
-    let mut basis_rng = rng.fork(0x5CE_E5);
+    let mut basis_rng = rng.fork(0x5CEE5);
     let bases = render::random_bases(cfg.object_classes, cfg.channels, cfg.img, &mut basis_rng);
 
     let img_len = cfg.channels * cfg.img * cfg.img;
@@ -189,9 +189,9 @@ mod tests {
             _ => panic!(),
         };
         // Salient count never exceeds total object count.
-        for i in 0..256 {
+        for (i, &cnt) in counts.iter().enumerate().take(256) {
             let total: f32 = presence.data()[i * 6..(i + 1) * 6].iter().sum();
-            assert!(counts[i] as f32 <= total);
+            assert!(cnt as f32 <= total);
         }
         // And counts are not all identical (the task is non-trivial).
         assert!(counts.iter().any(|&c| c != counts[0]));

@@ -115,7 +115,7 @@ impl ResNetDepth {
 /// a global-average-pool head — VGG's conv trunk with the fully-connected
 /// stack replaced by a light head (standard for small inputs).
 pub fn vgg(depth: VggDepth, scale: VisionScale, task: &TaskSpec) -> Result<ModelSpec> {
-    if scale.img % 16 != 0 {
+    if !scale.img.is_multiple_of(16) {
         return Err(TensorError::InvalidArgument {
             op: "families::vgg",
             msg: format!("image side {} must be divisible by 16", scale.img),

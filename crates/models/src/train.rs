@@ -85,7 +85,7 @@ pub fn train_teacher(
         });
     }
     let task = train.tasks[task_idx].clone();
-    let mut rng = Rng::new(cfg.seed ^ 0x7EAC_4E8);
+    let mut rng = Rng::new(cfg.seed ^ 0x07EA_C4E8);
     let mut opt = Optim::adam(cfg.lr);
     let mut scores = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {

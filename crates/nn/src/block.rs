@@ -66,6 +66,11 @@ impl std::fmt::Display for OpType {
 }
 
 /// A trainable computation block (see module docs).
+///
+/// Variants intentionally hold their layers inline (not boxed): blocks are
+/// built once per model and iterated, never moved in bulk, so the size
+/// spread is irrelevant in practice.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Block {
     /// `relu(conv(x))` — the VGG building block.
@@ -357,8 +362,8 @@ impl Block {
             Block::PatchEmbedB(pe) => {
                 if in_shape.len() != 3
                     || in_shape[0] != pe.proj.in_channels()
-                    || in_shape[1] % pe.patch != 0
-                    || in_shape[2] % pe.patch != 0
+                    || !in_shape[1].is_multiple_of(pe.patch)
+                    || !in_shape[2].is_multiple_of(pe.patch)
                 {
                     return Err(TensorError::InvalidArgument {
                         op: "PatchEmbed::out_shape",
@@ -465,7 +470,7 @@ impl Block {
                 let mut f = 4 * numel(target);
                 match proj {
                     Some(RescaleProj::Conv(c)) => {
-                        f += 2 * numel(&target[1..]) as u64
+                        f += 2 * numel(&target[1..])
                             * c.in_channels() as u64
                             * c.out_channels() as u64;
                     }

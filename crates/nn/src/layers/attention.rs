@@ -4,6 +4,7 @@ use super::missing_cache;
 use crate::layers::Linear;
 use crate::param::Parameter;
 use crate::Mode;
+use gmorph_tensor::engine;
 use gmorph_tensor::ops::{softmax_rows, softmax_rows_backward};
 use gmorph_tensor::rng::Rng;
 use gmorph_tensor::{gemm, Result, Tensor, TensorError};
@@ -11,8 +12,9 @@ use gmorph_tensor::{gemm, Result, Tensor, TensorError};
 /// Multi-head self-attention over `[N, T, D]` sequences.
 ///
 /// This is the attention used by the TinyViT/TinyBERT models in the zoo.
-/// Heads are computed with explicit per-(sample, head) GEMMs, which is
-/// plenty at the mini scale this reproduction trains at.
+/// Heads are computed with explicit per-(sample, head) GEMMs dispatched
+/// across the shared worker pool; results are gathered in `(sample, head)`
+/// order, so outputs are identical at any thread count.
 #[derive(Debug, Clone)]
 pub struct MultiHeadAttention {
     /// Query projection.
@@ -42,7 +44,7 @@ struct AttnCache {
 impl MultiHeadAttention {
     /// Creates an attention layer of width `d` with `heads` heads.
     pub fn new(d: usize, heads: usize, rng: &mut Rng) -> Result<Self> {
-        if heads == 0 || d % heads != 0 {
+        if heads == 0 || !d.is_multiple_of(heads) {
             return Err(TensorError::InvalidArgument {
                 op: "MultiHeadAttention::new",
                 msg: format!("width {d} not divisible by heads {heads}"),
@@ -102,20 +104,29 @@ impl MultiHeadAttention {
         let k = self.wk.forward(&x2, mode)?;
         let v = self.wv.forward(&x2, mode)?;
 
+        // Each (sample, head) is independent; compute them across the worker
+        // pool, then scatter serially in (s, h) order so the cached probs and
+        // the summed context are identical at any thread count.
+        let heads = self.heads;
+        let per_head = engine::parallel_map(n * heads, |i| -> Result<(Tensor, Tensor)> {
+            let (s, h) = (i / heads, i % heads);
+            let qh = Self::head_slice(&q, s, t, h, dh);
+            let kh = Self::head_slice(&k, s, t, h, dh);
+            let vh = Self::head_slice(&v, s, t, h, dh);
+            let scores = gemm::matmul_nt(&qh, &kh)?.scale(scale);
+            let a = softmax_rows(&scores)?;
+            let out = gemm::matmul(&a, &vh)?;
+            Ok((out, a))
+        });
+
         let mut ctx = Tensor::zeros(&[n * t, d]);
-        let mut probs = Vec::with_capacity(n * self.heads);
-        for s in 0..n {
-            for h in 0..self.heads {
-                let qh = Self::head_slice(&q, s, t, h, dh);
-                let kh = Self::head_slice(&k, s, t, h, dh);
-                let vh = Self::head_slice(&v, s, t, h, dh);
-                let scores = gemm::matmul_nt(&qh, &kh)?.scale(scale);
-                let a = softmax_rows(&scores)?;
-                let out = gemm::matmul(&a, &vh)?;
-                Self::head_scatter(&mut ctx, &out, s, t, h, dh);
-                if mode == Mode::Train {
-                    probs.push(a);
-                }
+        let mut probs = Vec::with_capacity(n * heads);
+        for (i, res) in per_head.into_iter().enumerate() {
+            let (out, a) = res?;
+            let (s, h) = (i / heads, i % heads);
+            Self::head_scatter(&mut ctx, &out, s, t, h, dh);
+            if mode == Mode::Train {
+                probs.push(a);
             }
         }
         let y2 = self.wo.forward(&ctx, mode)?;
@@ -138,12 +149,14 @@ impl MultiHeadAttention {
         let g2 = grad_y.reshape(&[n * t, d])?;
         let gctx = self.wo.backward(&g2)?;
 
-        let mut gq = Tensor::zeros(&[n * t, d]);
-        let mut gk = Tensor::zeros(&[n * t, d]);
-        let mut gv = Tensor::zeros(&[n * t, d]);
-        for s in 0..n {
-            for h in 0..self.heads {
-                let a = &cache.probs[s * self.heads + h];
+        // Per-head gradients in parallel, serial scatter in (s, h) order —
+        // same decomposition as forward, so results are thread-count
+        // independent.
+        let heads = self.heads;
+        let per_head =
+            engine::parallel_map(n * heads, |i| -> Result<(Tensor, Tensor, Tensor)> {
+                let (s, h) = (i / heads, i % heads);
+                let a = &cache.probs[s * heads + h];
                 let gout = Self::head_slice(&gctx, s, t, h, dh);
                 let qh = Self::head_slice(&cache.q, s, t, h, dh);
                 let kh = Self::head_slice(&cache.k, s, t, h, dh);
@@ -155,10 +168,18 @@ impl MultiHeadAttention {
                 let gs = softmax_rows_backward(&ga, a)?;
                 let gqh = gemm::matmul(&gs, &kh)?.scale(scale);
                 let gkh = gemm::matmul_tn(&gs, &qh)?.scale(scale);
-                Self::head_scatter(&mut gq, &gqh, s, t, h, dh);
-                Self::head_scatter(&mut gk, &gkh, s, t, h, dh);
-                Self::head_scatter(&mut gv, &gvh, s, t, h, dh);
-            }
+                Ok((gqh, gkh, gvh))
+            });
+
+        let mut gq = Tensor::zeros(&[n * t, d]);
+        let mut gk = Tensor::zeros(&[n * t, d]);
+        let mut gv = Tensor::zeros(&[n * t, d]);
+        for (i, res) in per_head.into_iter().enumerate() {
+            let (gqh, gkh, gvh) = res?;
+            let (s, h) = (i / heads, i % heads);
+            Self::head_scatter(&mut gq, &gqh, s, t, h, dh);
+            Self::head_scatter(&mut gk, &gkh, s, t, h, dh);
+            Self::head_scatter(&mut gv, &gvh, s, t, h, dh);
         }
         let mut gx = self.wq.backward(&gq)?;
         gx.add_assign(&self.wk.backward(&gk)?)?;
@@ -255,6 +276,24 @@ mod tests {
                 gx.data()[flat]
             );
         }
+    }
+
+    #[test]
+    fn forward_and_backward_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            engine::with_thread_limit(threads, || {
+                let mut rng = Rng::new(7);
+                let mut attn = MultiHeadAttention::new(8, 4, &mut rng).unwrap();
+                let x = Tensor::randn(&[3, 5, 8], 0.7, &mut rng);
+                let y = attn.forward(&x, Mode::Train).unwrap();
+                let gx = attn.backward(&Tensor::ones(y.dims())).unwrap();
+                (y, gx)
+            })
+        };
+        let (y1, g1) = run(1);
+        let (y4, g4) = run(4);
+        assert_eq!(y1.data(), y4.data(), "forward differs across thread counts");
+        assert_eq!(g1.data(), g4.data(), "backward differs across thread counts");
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl PatchEmbed {
         d: usize,
         rng: &mut Rng,
     ) -> Result<Self> {
-        if patch == 0 || img % patch != 0 {
+        if patch == 0 || !img.is_multiple_of(patch) {
             return Err(TensorError::InvalidArgument {
                 op: "PatchEmbed::new",
                 msg: format!("image {img} not divisible by patch {patch}"),
@@ -276,7 +276,7 @@ mod tests {
         let y = emb.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.dims(), &[2, 3, 4]);
         // Element = table[id] + pos[p].
-        let expect = emb.table.value.data()[1 * 4] + emb.pos.value.data()[1 * 4];
+        let expect = emb.table.value.data()[4] + emb.pos.value.data()[4];
         assert!((y.at(&[0, 1, 0]).unwrap() - expect).abs() < 1e-6);
     }
 

@@ -72,7 +72,7 @@ impl BatchNorm2d {
             Mode::Train => {
                 let mut xhat = Tensor::zeros(x.dims());
                 let mut inv_stds = vec![0.0f32; c];
-                for ch in 0..c {
+                for (ch, inv_std_slot) in inv_stds.iter_mut().enumerate() {
                     let mut sum = 0.0f32;
                     for s in 0..n {
                         let base = (s * c + ch) * plane;
@@ -88,7 +88,7 @@ impl BatchNorm2d {
                     }
                     var /= m;
                     let inv_std = 1.0 / (var + EPS).sqrt();
-                    inv_stds[ch] = inv_std;
+                    *inv_std_slot = inv_std;
                     let (g, b) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
                     for s in 0..n {
                         let base = (s * c + ch) * plane;
@@ -234,14 +234,14 @@ impl LayerNorm {
         let mut out = Tensor::zeros(x.dims());
         let mut xhat = Tensor::zeros(x.dims());
         let mut inv_stds = vec![0.0f32; m];
-        for i in 0..m {
+        for (i, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let row = &x.data()[i * d..(i + 1) * d];
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv_std = 1.0 / (var + EPS).sqrt();
-            inv_stds[i] = inv_std;
-            for j in 0..d {
-                let xh = (row[j] - mean) * inv_std;
+            *inv_std_slot = inv_std;
+            for (j, &rv) in row.iter().enumerate() {
+                let xh = (rv - mean) * inv_std;
                 xhat.data_mut()[i * d + j] = xh;
                 out.data_mut()[i * d + j] =
                     self.gamma.value.data()[j] * xh + self.beta.value.data()[j];
@@ -268,7 +268,7 @@ impl LayerNorm {
         }
         let (m, d) = (grad_y.dims()[0], grad_y.dims()[1]);
         let mut grad_x = Tensor::zeros(grad_y.dims());
-        for i in 0..m {
+        for (i, &row_inv_std) in inv_stds.iter().enumerate().take(m) {
             let mut sum_g = 0.0f32;
             let mut sum_g_xhat = 0.0f32;
             for j in 0..d {
@@ -279,7 +279,7 @@ impl LayerNorm {
                 self.gamma.grad.data_mut()[j] += grad_y.data()[idx] * xhat.data()[idx];
                 self.beta.grad.data_mut()[j] += grad_y.data()[idx];
             }
-            let k = inv_stds[i] / d as f32;
+            let k = row_inv_std / d as f32;
             for j in 0..d {
                 let idx = i * d + j;
                 let gxh = grad_y.data()[idx] * self.gamma.value.data()[j];

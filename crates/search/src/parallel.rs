@@ -2,46 +2,72 @@
 //!
 //! The paper notes its prototype "samples only one multi-task model at a
 //! time" and suggests sampling multiple models in parallel. This module
-//! evaluates a batch of candidates on crossbeam scoped threads. On the
-//! single-core machines this reproduction targets it mostly demonstrates
-//! correctness (results are identical to sequential evaluation); on
-//! multi-core machines it shortens wall-clock search time.
+//! evaluates a batch of candidates on the process-wide kernel worker pool
+//! ([`gmorph_tensor::engine`]) instead of spawning one OS thread per
+//! candidate: scheduling is bounded by the configured thread count
+//! (`GMORPH_THREADS`), and the tensor kernels a candidate runs nest inline
+//! on the same worker, so candidate-level and kernel-level parallelism
+//! compose without oversubscription.
+//!
+//! Each candidate derives its RNG from `seed` and its index only, so the
+//! results — and the accepted/rejected decisions the driver makes from
+//! them — are identical to a sequential run at any thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::evaluator::{EvalMode, Evaluation};
 use gmorph_graph::{AbsGraph, WeightStore};
 use gmorph_perf::accuracy::FinetuneConfig;
+use gmorph_tensor::engine;
 use gmorph_tensor::rng::Rng;
 use gmorph_tensor::{Result, TensorError};
+
+/// Renders a panic payload's message, when it carries one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Evaluates candidates concurrently, preserving input order.
 ///
 /// Each candidate gets an independent RNG derived from `seed` and its
-/// index, so results match a sequential run with the same derivation.
+/// index, so results match a sequential run with the same derivation. A
+/// panicking candidate does not abort the rest of the batch: every other
+/// candidate still runs, and the error names the panicking candidate's
+/// index so a bad mutation can be traced.
 pub fn evaluate_batch(
     candidates: &[(AbsGraph, WeightStore)],
     mode: &EvalMode,
     cfg: &FinetuneConfig,
     seed: u64,
 ) -> Result<Vec<Evaluation>> {
-    let mut slots: Vec<Option<Result<Evaluation>>> = Vec::new();
-    slots.resize_with(candidates.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            let (graph, weights) = &candidates[i];
-            scope.spawn(move |_| {
-                let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-                let salt = seed.wrapping_add(i as u64);
-                *slot = Some(mode.evaluate(graph, weights, cfg, &mut rng, salt));
-            });
-        }
-    })
-    .map_err(|_| TensorError::InvalidArgument {
-        op: "parallel::evaluate_batch",
-        msg: "a worker thread panicked".to_string(),
-    })?;
-    slots
+    let outcomes = engine::parallel_map(candidates.len(), |i| {
+        let (graph, weights) = &candidates[i];
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let salt = seed.wrapping_add(i as u64);
+            mode.evaluate(graph, weights, cfg, &mut rng, salt)
+        }))
+    });
+    outcomes
         .into_iter()
-        .map(|s| s.expect("every slot written by its worker"))
+        .enumerate()
+        .map(|(i, outcome)| match outcome {
+            Ok(result) => result,
+            Err(payload) => Err(TensorError::InvalidArgument {
+                op: "parallel::evaluate_batch",
+                msg: format!(
+                    "candidate {i} of {} panicked during evaluation: {}",
+                    candidates.len(),
+                    panic_message(payload.as_ref())
+                ),
+            }),
+        })
         .collect()
 }
 
@@ -55,8 +81,7 @@ mod tests {
     use gmorph_models::families::{vgg, VggDepth, VisionScale};
     use gmorph_perf::accuracy::SurrogateParams;
 
-    #[test]
-    fn batch_matches_sequential_and_preserves_order() {
+    fn test_mode_and_candidates() -> (Vec<(AbsGraph, WeightStore)>, EvalMode) {
         let t0 = TaskSpec::classification("a", 2);
         let t1 = TaskSpec::classification("b", 3);
         let g = parse_specs(&[
@@ -78,6 +103,12 @@ mod tests {
             params: SurrogateParams::default(),
             teacher_scores: vec![0.85, 0.80],
         });
+        (candidates, mode)
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let (candidates, mode) = test_mode_and_candidates();
         let cfg = FinetuneConfig {
             max_epochs: 10,
             eval_every: 1,
@@ -93,6 +124,25 @@ mod tests {
                 .unwrap();
             assert_eq!(parallel[i].result.final_drop, seq.result.final_drop);
             assert_eq!(parallel[i].result.epochs_run, seq.result.epochs_run);
+        }
+    }
+
+    #[test]
+    fn batch_identical_across_thread_counts() {
+        let (candidates, mode) = test_mode_and_candidates();
+        let cfg = FinetuneConfig {
+            max_epochs: 10,
+            eval_every: 1,
+            target_drop: 0.02,
+            ..Default::default()
+        };
+        let run = || evaluate_batch(&candidates, &mode, &cfg, 42).unwrap();
+        let single = engine::with_thread_limit(1, run);
+        let multi = engine::with_thread_limit(4, run);
+        assert_eq!(single.len(), multi.len());
+        for (a, b) in single.iter().zip(multi.iter()) {
+            assert_eq!(a.result.final_drop, b.result.final_drop);
+            assert_eq!(a.result.epochs_run, b.result.epochs_run);
         }
     }
 

@@ -3,7 +3,14 @@
 //! Layout is NCHW throughout. The lowering mirrors what cuDNN/PyTorch do on
 //! the GPU: each input window becomes a column, convolution becomes one GEMM
 //! per sample, and the backward pass reuses the same columns.
+//!
+//! The batch dimension is dispatched across the shared worker pool
+//! ([`crate::engine`]): samples are independent in the forward pass, and the
+//! backward pass reduces per-sample `dW`/`db` contributions serially in
+//! ascending sample order, keeping results bit-identical across thread
+//! counts.
 
+use crate::engine;
 use crate::gemm;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
@@ -92,6 +99,7 @@ fn im2col_single(
 
 /// Scatters a `[C*K*K, OH*OW]` column matrix back into a `[C, H, W]` image,
 /// accumulating overlapping contributions (the adjoint of im2col).
+#[allow(clippy::too_many_arguments)]
 fn col2im_single(
     col: &[f32],
     c: usize,
@@ -200,25 +208,30 @@ pub fn conv2d_forward(
     }
     let oh = geom.out_size(h)?;
     let ow = geom.out_size(w)?;
+    if let Some(b) = bias {
+        if b.dims() != [c_out] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_forward bias",
+                lhs: format!("[{c_out}]"),
+                rhs: b.shape().to_string(),
+            });
+        }
+    }
     let wmat = weight.reshape(&[c_out, c_in * k * k])?;
 
     let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
-    let mut cols = Vec::with_capacity(n);
     let img_len = c_in * h * w;
     let out_len = c_out * oh * ow;
-    for s in 0..n {
+
+    // Each sample is independent: lower and multiply across the pool. The
+    // per-sample GEMM runs inline on its worker (nested dispatch), so the
+    // decomposition — and therefore the result — is thread-count-invariant.
+    let per_sample = engine::parallel_map(n, |s| -> Result<(Vec<f32>, Tensor)> {
         let img = &input.data()[s * img_len..(s + 1) * img_len];
         let col = im2col_single(img, c_in, h, w, geom, oh, ow);
         let col_t = Tensor::from_vec(&[c_in * k * k, oh * ow], col)?;
         let mut y = gemm::matmul(&wmat, &col_t)?; // [c_out, oh*ow]
         if let Some(b) = bias {
-            if b.dims() != [c_out] {
-                return Err(TensorError::ShapeMismatch {
-                    op: "conv2d_forward bias",
-                    lhs: format!("[{c_out}]"),
-                    rhs: b.shape().to_string(),
-                });
-            }
             let ncols = oh * ow;
             let yd = y.data_mut();
             for co in 0..c_out {
@@ -228,7 +241,13 @@ pub fn conv2d_forward(
                 }
             }
         }
-        out.data_mut()[s * out_len..(s + 1) * out_len].copy_from_slice(y.data());
+        Ok((y.into_data(), col_t))
+    });
+
+    let mut cols = Vec::with_capacity(n);
+    for (s, sample) in per_sample.into_iter().enumerate() {
+        let (y, col_t) = sample?;
+        out.data_mut()[s * out_len..(s + 1) * out_len].copy_from_slice(&y);
         cols.push(col_t);
     }
     Ok(Conv2dForward {
@@ -285,31 +304,37 @@ pub fn conv2d_backward_geom(
 
     let go_len = c_out * oh * ow;
     let gi_len = c_in * h * w;
-    for s in 0..n {
+
+    // Per-sample gradients are independent; compute them across the pool
+    // and reduce serially afterwards in ascending sample order, so the
+    // floating-point accumulation into dW / db has a fixed order no matter
+    // how many threads ran the map.
+    let per_sample = engine::parallel_map(n, |s| -> Result<(Tensor, Vec<f32>, Vec<f32>)> {
         let go = Tensor::from_vec(
             &[c_out, oh * ow],
             grad_output.data()[s * go_len..(s + 1) * go_len].to_vec(),
         )?;
-        // dW += dY · colᵀ
+        // dW contribution: dY · colᵀ.
         let gw = gemm::matmul_nt(&go, &forward.cols[s])?;
-        grad_weight.add_assign(&gw)?;
-        // db += row sums of dY.
-        for co in 0..c_out {
-            let sum: f32 = go.data()[co * oh * ow..(co + 1) * oh * ow].iter().sum();
-            grad_bias.data_mut()[co] += sum;
+        // db contribution: row sums of dY.
+        let mut gb = vec![0.0f32; c_out];
+        for (co, g) in gb.iter_mut().enumerate() {
+            *g = go.data()[co * oh * ow..(co + 1) * oh * ow].iter().sum();
         }
-        // dCol = Wᵀ · dY, then scatter back.
+        // dX slice: dCol = Wᵀ · dY, scattered back through col2im.
         let gcol = gemm::matmul_tn(&wmat, &go)?;
-        col2im_single(
-            gcol.data(),
-            c_in,
-            h,
-            w,
-            geom,
-            oh,
-            ow,
-            &mut grad_input.data_mut()[s * gi_len..(s + 1) * gi_len],
-        );
+        let mut gi = vec![0.0f32; gi_len];
+        col2im_single(gcol.data(), c_in, h, w, geom, oh, ow, &mut gi);
+        Ok((gw, gb, gi))
+    });
+
+    for (s, sample) in per_sample.into_iter().enumerate() {
+        let (gw, gb, gi) = sample?;
+        grad_weight.add_assign(&gw)?;
+        for (acc, v) in grad_bias.data_mut().iter_mut().zip(gb.iter()) {
+            *acc += v;
+        }
+        grad_input.data_mut()[s * gi_len..(s + 1) * gi_len].copy_from_slice(&gi);
     }
     Ok(Conv2dGrads {
         grad_input,
@@ -417,6 +442,28 @@ mod tests {
     fn rejects_invalid_geometry() {
         assert!(Conv2dGeom::new(0, 1, 0).is_err());
         assert!(Conv2dGeom::new(3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn forward_and_backward_identical_across_thread_counts() {
+        let mut rng = Rng::new(11);
+        let geom = Conv2dGeom::new(3, 1, 1).unwrap();
+        let x = Tensor::randn(&[6, 3, 8, 8], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let b = Tensor::randn(&[4], 0.1, &mut rng);
+
+        let run = || {
+            let fwd = conv2d_forward(&x, &w, Some(&b), geom).unwrap();
+            let ones = Tensor::ones(fwd.output.dims());
+            let grads = conv2d_backward_geom(&ones, &w, x.dims(), &fwd, geom).unwrap();
+            (fwd.output, grads)
+        };
+        let (y1, g1) = crate::engine::with_thread_limit(1, run);
+        let (y4, g4) = crate::engine::with_thread_limit(4, run);
+        assert_eq!(y1.data(), y4.data(), "forward bit-identical");
+        assert_eq!(g1.grad_input.data(), g4.grad_input.data());
+        assert_eq!(g1.grad_weight.data(), g4.grad_weight.data());
+        assert_eq!(g1.grad_bias.data(), g4.grad_bias.data());
     }
 
     #[test]

@@ -1,10 +1,19 @@
-//! Single-threaded GEMM kernels.
+//! Cache-blocked, threaded GEMM kernels.
 //!
 //! Matrix multiplication dominates the cost of every layer in this stack
 //! (convolution lowers to GEMM via im2col, attention and linear layers are
-//! GEMMs outright). The kernels here use the cache-friendly `i-k-j` loop
-//! order so the innermost loop streams both the `b` row and the output row,
+//! GEMMs outright). The kernels here follow the classic BLIS decomposition:
+//! the operand matrices are cut into `MC x KC` / `KC x NR` blocks that are
+//! *packed* into contiguous buffers sized for cache residency, and an
+//! `MR x NR` register-tiled microkernel runs over the packed panels. The
+//! packed inner loops are plain slice iteration over fixed-width strips,
 //! which the compiler auto-vectorizes.
+//!
+//! Row panels of the output are dispatched across the process-wide worker
+//! pool ([`crate::engine`]). Each output element is written by exactly one
+//! panel and accumulated in a fixed order (`KC` blocks ascending, `p`
+//! ascending within a block), so results are bit-identical for any thread
+//! count.
 //!
 //! Three variants cover forward and backward passes without materializing
 //! transposes:
@@ -12,9 +21,39 @@
 //! - [`matmul`]: `C = A · B`
 //! - [`matmul_nt`]: `C = A · Bᵀ` (e.g. grad wrt input of a linear layer)
 //! - [`matmul_tn`]: `C = Aᵀ · B` (e.g. grad wrt weights of a linear layer)
+//!
+//! The seed project's single-threaded loop-order kernels survive in
+//! [`naive`] as a benchmark baseline and test reference.
 
+use crate::engine;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
+
+/// Microkernel tile height (rows of `C` per register tile).
+const MR: usize = 4;
+/// Microkernel tile width (columns of `C` per register tile).
+const NR: usize = 8;
+/// Row-panel height: rows of `A` packed per panel (L2-resident with KC).
+const MC: usize = 64;
+/// Depth block: columns of `A` / rows of `B` per packed block (L1/L2).
+const KC: usize = 256;
+
+/// Below this `m * k * n` product the packing overhead outweighs the win;
+/// use the simple loop kernels instead.
+const SMALL: usize = 32 * 32 * 32;
+
+/// Below this `m * k * n` product, row panels run serially even when the
+/// pool has threads: dispatch overhead would dominate.
+const PAR_MIN: usize = 1 << 18;
+
+/// How an operand matrix is stored relative to its logical orientation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Stored exactly as the logical matrix.
+    Normal,
+    /// Stored as the transpose of the logical matrix.
+    Transposed,
+}
 
 fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.shape().rank() != 2 {
@@ -25,6 +64,185 @@ fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
         });
     }
     Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Packs the `kb x n` slice of logical `B` starting at depth `p0` into
+/// `NR`-wide column strips: strip `j` holds columns `j*NR ..`, laid out
+/// `p`-major (`buf[strip_base + p*NR + c]`). Columns past `n` are zero.
+fn pack_b(bd: &[f32], layout: Layout, k: usize, n: usize, p0: usize, kb: usize, buf: &mut [f32]) {
+    let n_strips = n.div_ceil(NR);
+    for js in 0..n_strips {
+        let j0 = js * NR;
+        let cols = NR.min(n - j0);
+        let strip = &mut buf[js * kb * NR..(js + 1) * kb * NR];
+        match layout {
+            Layout::Normal => {
+                // B stored [k, n].
+                for p in 0..kb {
+                    let src = &bd[(p0 + p) * n + j0..(p0 + p) * n + j0 + cols];
+                    let dst = &mut strip[p * NR..p * NR + NR];
+                    dst[..cols].copy_from_slice(src);
+                    dst[cols..].fill(0.0);
+                }
+            }
+            Layout::Transposed => {
+                // B stored [n, k]; logical element (p, j) is bd[j*k + p].
+                for p in 0..kb {
+                    let dst = &mut strip[p * NR..p * NR + NR];
+                    for (c, d) in dst.iter_mut().enumerate() {
+                        *d = if c < cols { bd[(j0 + c) * k + p0 + p] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `mb x kb` slice of logical `A` (rows `i0..`, depths `p0..`)
+/// into `MR`-tall row strips, `p`-major within a strip
+/// (`buf[strip_base + p*MR + r]`). Rows past `mb` are zero.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    ad: &[f32],
+    layout: Layout,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mb: usize,
+    p0: usize,
+    kb: usize,
+    buf: &mut [f32],
+) {
+    let m_strips = mb.div_ceil(MR);
+    for is in 0..m_strips {
+        let r0 = is * MR;
+        let rows = MR.min(mb - r0);
+        let strip = &mut buf[is * kb * MR..(is + 1) * kb * MR];
+        match layout {
+            Layout::Normal => {
+                // A stored [m, k].
+                for p in 0..kb {
+                    let dst = &mut strip[p * MR..p * MR + MR];
+                    for (r, d) in dst.iter_mut().enumerate() {
+                        *d = if r < rows {
+                            ad[(i0 + r0 + r) * k + p0 + p]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+            Layout::Transposed => {
+                // A stored [k, m]; logical element (i, p) is ad[p*m + i].
+                for p in 0..kb {
+                    let src_row = (p0 + p) * m + i0 + r0;
+                    let dst = &mut strip[p * MR..p * MR + MR];
+                    for (r, d) in dst.iter_mut().enumerate() {
+                        *d = if r < rows { ad[src_row + r] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled microkernel: accumulates the `MR x NR` product of one
+/// packed `A` strip and one packed `B` strip over `kb` depth steps into
+/// `acc`. Fixed-width inner loops auto-vectorize.
+#[inline]
+fn microkernel(apack: &[f32], bpack: &[f32], kb: usize, acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kb {
+        let av = &apack[p * MR..p * MR + MR];
+        let bv = &bpack[p * NR..p * NR + NR];
+        for r in 0..MR {
+            let a = av[r];
+            let row = &mut acc[r];
+            for c in 0..NR {
+                row[c] += a * bv[c];
+            }
+        }
+    }
+}
+
+/// Shared blocked driver: `C = op_a(A) · op_b(B)` with `C: [m, n]`.
+///
+/// Packs all of `B` up front (every `KC` block, `NR` strips), then runs row
+/// panels of `MC` output rows — in parallel when the product is large
+/// enough. Each panel owns a disjoint row range of `out`, and accumulates
+/// its tiles over `KC` blocks in ascending order, so the result does not
+/// depend on how panels are scheduled.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    ad: &[f32],
+    a_layout: Layout,
+    bd: &[f32],
+    b_layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let n_strips = n.div_ceil(NR);
+    let k_blocks = k.div_ceil(KC);
+
+    // Pack B once: block-major, then strip-major. Block b covers depths
+    // b*KC .. b*KC+kb and occupies n_strips * kb * NR floats.
+    let mut bp = vec![0.0f32; k_blocks * n_strips * KC * NR];
+    let mut block_off = vec![0usize; k_blocks + 1];
+    {
+        let mut off = 0usize;
+        for (b, boff) in block_off.iter_mut().enumerate().take(k_blocks) {
+            *boff = off;
+            let p0 = b * KC;
+            let kb = KC.min(k - p0);
+            pack_b(bd, b_layout, k, n, p0, kb, &mut bp[off..off + n_strips * kb * NR]);
+            off += n_strips * kb * NR;
+        }
+        block_off[k_blocks] = off;
+        bp.truncate(off);
+    }
+
+    let panel_body = |apack: &mut Vec<f32>, i0: usize, crows: &mut [f32]| {
+        let mb = MC.min(m - i0);
+        let m_strips = mb.div_ceil(MR);
+        for b in 0..k_blocks {
+            let p0 = b * KC;
+            let kb = KC.min(k - p0);
+            apack.resize(m_strips * kb * MR, 0.0);
+            pack_a(ad, a_layout, m, k, i0, mb, p0, kb, apack);
+            let bblock = &bp[block_off[b]..block_off[b + 1]];
+            for is in 0..m_strips {
+                let astrip = &apack[is * kb * MR..(is + 1) * kb * MR];
+                let rows = MR.min(mb - is * MR);
+                for js in 0..n_strips {
+                    let bstrip = &bblock[js * kb * NR..(js + 1) * kb * NR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    microkernel(astrip, bstrip, kb, &mut acc);
+                    let j0 = js * NR;
+                    let cols = NR.min(n - j0);
+                    for r in 0..rows {
+                        let crow =
+                            &mut crows[(is * MR + r) * n + j0..(is * MR + r) * n + j0 + cols];
+                        for (o, &v) in crow.iter_mut().zip(acc[r].iter()) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    if m * k * n >= PAR_MIN {
+        engine::parallel_chunks_mut(out, MC * n, |panel, crows| {
+            let mut apack = Vec::new();
+            panel_body(&mut apack, panel * MC, crows);
+        });
+    } else {
+        let mut apack = Vec::new();
+        for (panel, crows) in out.chunks_mut(MC * n).enumerate() {
+            panel_body(&mut apack, panel * MC, crows);
+        }
+    }
 }
 
 /// Computes `C = A · B` for `A: [m, k]`, `B: [k, n]`.
@@ -50,20 +268,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
+    if m * k * n < SMALL {
+        naive::matmul_into(a.data(), b.data(), m, k, n, &mut out);
+    } else {
+        gemm_blocked(a.data(), Layout::Normal, b.data(), Layout::Normal, m, k, n, &mut out);
     }
     Tensor::from_vec(&[m, n], out)
 }
@@ -80,20 +288,19 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            // Dot product of two contiguous rows: vectorizes well.
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
+    if m * k * n < SMALL {
+        naive::matmul_nt_into(a.data(), b.data(), m, k, n, &mut out);
+    } else {
+        gemm_blocked(
+            a.data(),
+            Layout::Normal,
+            b.data(),
+            Layout::Transposed,
+            m,
+            k,
+            n,
+            &mut out,
+        );
     }
     Tensor::from_vec(&[m, n], out)
 }
@@ -110,23 +317,118 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    // Accumulate rank-1 updates: out += a_row ⊗ b_row for each k.
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
+    if m * k * n < SMALL {
+        naive::matmul_tn_into(a.data(), b.data(), m, k, n, &mut out);
+    } else {
+        gemm_blocked(
+            a.data(),
+            Layout::Transposed,
+            b.data(),
+            Layout::Normal,
+            m,
+            k,
+            n,
+            &mut out,
+        );
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// The seed project's single-threaded loop-order kernels.
+///
+/// Kept as the small-matrix path, the benchmark baseline for the blocked
+/// engine, and a structurally independent reference for property tests.
+/// Unlike the original seed these do **not** skip zero elements of `A`:
+/// the branch broke IEEE semantics (`0 * inf`, `0 * nan`, signed zeros)
+/// and defeated vectorization of the inner loop.
+pub mod naive {
+    use crate::tensor::Tensor;
+    use crate::Result;
+
+    /// `C += A · B` in `i-k-j` (axpy) order over raw row-major slices.
+    pub(crate) fn matmul_into(ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &ad[i * k..(i + 1) * k];
             let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
             }
         }
     }
-    Tensor::from_vec(&[m, n], out)
+
+    /// `C += A · Bᵀ` as row-by-row dot products over raw slices.
+    pub(crate) fn matmul_nt_into(
+        ad: &[f32],
+        bd: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        for i in 0..m {
+            let arow = &ad[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *o += acc;
+            }
+        }
+    }
+
+    /// `C += Aᵀ · B` as rank-1 updates over raw slices.
+    pub(crate) fn matmul_tn_into(
+        ad: &[f32],
+        bd: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        for p in 0..k {
+            let arow = &ad[p * m..(p + 1) * m];
+            let brow = &bd[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Single-threaded `C = A · B` (`A: [m, k]`, `B: [k, n]`).
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = super::check_rank2(a, "naive matmul lhs")?;
+        let n = super::check_rank2(b, "naive matmul rhs")?.1;
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(a.data(), b.data(), m, k, n, &mut out);
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Single-threaded `C = A · Bᵀ` (`A: [m, k]`, `B: [n, k]`).
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = super::check_rank2(a, "naive matmul_nt lhs")?;
+        let n = super::check_rank2(b, "naive matmul_nt rhs")?.0;
+        let mut out = vec![0.0f32; m * n];
+        matmul_nt_into(a.data(), b.data(), m, k, n, &mut out);
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Single-threaded `C = Aᵀ · B` (`A: [k, m]`, `B: [k, n]`).
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (k, m) = super::check_rank2(a, "naive matmul_tn lhs")?;
+        let n = super::check_rank2(b, "naive matmul_tn rhs")?.1;
+        let mut out = vec![0.0f32; m * n];
+        matmul_tn_into(a.data(), b.data(), m, k, n, &mut out);
+        Tensor::from_vec(&[m, n], out)
+    }
 }
 
 /// Transposes a rank-2 tensor.
@@ -244,6 +546,41 @@ mod tests {
             &matmul_ref(&transpose(&a).unwrap(), &c),
             1e-4,
         );
+    }
+
+    #[test]
+    fn blocked_path_matches_reference_past_edges() {
+        // Sizes straddling the MR/NR/MC/KC boundaries force the blocked
+        // path (product >= SMALL) with ragged edge tiles in every dim.
+        let mut rng = Rng::new(7);
+        for (m, k, n) in [(65, 33, 17), (33, 70, 40), (130, 37, 9)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            assert_close(&matmul(&a, &b).unwrap(), &matmul_ref(&a, &b), 1e-3);
+        }
+    }
+
+    #[test]
+    fn ieee_semantics_preserved() {
+        // The seed kernels skipped a == 0.0 terms, which silently dropped
+        // 0 * inf = nan and 0 * nan = nan. The rewrite must propagate them.
+        let a = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(&[2, 1], vec![f32::INFINITY, 2.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.data()[0].is_nan(), "0 * inf must contribute nan");
+
+        let bn = Tensor::from_vec(&[2, 1], vec![f32::NAN, 2.0]).unwrap();
+        assert!(matmul(&a, &bn).unwrap().data()[0].is_nan());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let mut rng = Rng::new(9);
+        let a = Tensor::randn(&[130, 70], 1.0, &mut rng);
+        let b = Tensor::randn(&[70, 90], 1.0, &mut rng);
+        let single = crate::engine::with_thread_limit(1, || matmul(&a, &b).unwrap());
+        let multi = crate::engine::with_thread_limit(4, || matmul(&a, &b).unwrap());
+        assert_eq!(single.data(), multi.data(), "bit-identical across threads");
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //!   between shared features of mismatched shapes, §4.1 of the paper),
 //! - [`ops`]: activations, softmax, and reductions,
 //! - [`rng`]: deterministic seeded random number utilities,
-//! - [`serialize`]: a tiny binary format for weight caching.
+//! - [`serialize`]: a tiny binary format for weight caching,
+//! - [`engine`]: the shared worker pool that kernels dispatch onto.
 //!
-//! Everything is safe Rust and single-threaded; model parallelism lives in
-//! higher layers.
+//! Hot kernels (GEMM, convolution, pooling, large elementwise ops) run on a
+//! process-wide worker pool sized by `GMORPH_THREADS` (see [`engine`]).
+//! Work decomposition depends only on problem shape and every reduction has
+//! a fixed order, so results are bit-identical across thread counts.
 
 pub mod conv;
+pub mod engine;
 pub mod gemm;
 pub mod interp;
 pub mod ops;

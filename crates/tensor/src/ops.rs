@@ -1,21 +1,64 @@
 //! Activation functions, softmax, and small reductions.
+//!
+//! Elementwise ops on large tensors and the row loops of the softmax family
+//! run across the shared worker pool ([`crate::engine`]). Chunk boundaries
+//! depend only on tensor shape and every element is written by exactly one
+//! chunk, so results are bit-identical across thread counts.
 
+use crate::engine;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
 
+/// Below this element count the per-call pool dispatch outweighs the win.
+const PAR_MIN: usize = 1 << 16;
+
+/// Elements per parallel chunk for flat elementwise traversals.
+const CHUNK: usize = 1 << 13;
+
+/// Applies `f` elementwise, on the pool when the tensor is large enough.
+fn par_unary(x: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    if x.numel() < PAR_MIN {
+        return x.map(&f);
+    }
+    let mut out = x.clone();
+    engine::parallel_chunks_mut(out.data_mut(), CHUNK, |_ci, chunk| {
+        for v in chunk.iter_mut() {
+            *v = f(*v);
+        }
+    });
+    out
+}
+
+/// Combines two same-shaped tensors elementwise, on the pool when large.
+fn par_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
+    if a.numel() < PAR_MIN || a.dims() != b.dims() {
+        // Small tensors, and the error path for mismatched shapes.
+        return a.zip(b, &f);
+    }
+    let mut out = a.clone();
+    let bd = b.data();
+    engine::parallel_chunks_mut(out.data_mut(), CHUNK, |ci, chunk| {
+        let off = ci * CHUNK;
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = f(*v, bd[off + i]);
+        }
+    });
+    Ok(out)
+}
+
 /// ReLU forward: `max(x, 0)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    par_unary(x, |v| v.max(0.0))
 }
 
 /// ReLU backward: gradient flows where the *input* was positive.
 pub fn relu_backward(grad_out: &Tensor, input: &Tensor) -> Result<Tensor> {
-    grad_out.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
+    par_zip(grad_out, input, |g, x| if x > 0.0 { g } else { 0.0 })
 }
 
 /// GELU forward (tanh approximation, as used by ViT/BERT).
 pub fn gelu_forward(x: &Tensor) -> Tensor {
-    x.map(gelu_scalar)
+    par_unary(x, gelu_scalar)
 }
 
 fn gelu_scalar(x: f32) -> f32 {
@@ -25,7 +68,7 @@ fn gelu_scalar(x: f32) -> f32 {
 
 /// GELU backward via the derivative of the tanh approximation.
 pub fn gelu_backward(grad_out: &Tensor, input: &Tensor) -> Result<Tensor> {
-    grad_out.zip(input, |g, x| {
+    par_zip(grad_out, input, |g, x| {
         const C: f32 = 0.797_884_6;
         let u = C * (x + 0.044715 * x * x * x);
         let t = u.tanh();
@@ -37,22 +80,22 @@ pub fn gelu_backward(grad_out: &Tensor, input: &Tensor) -> Result<Tensor> {
 
 /// Tanh forward.
 pub fn tanh_forward(x: &Tensor) -> Tensor {
-    x.map(f32::tanh)
+    par_unary(x, f32::tanh)
 }
 
 /// Tanh backward given the *output* of the forward pass.
 pub fn tanh_backward(grad_out: &Tensor, output: &Tensor) -> Result<Tensor> {
-    grad_out.zip(output, |g, y| g * (1.0 - y * y))
+    par_zip(grad_out, output, |g, y| g * (1.0 - y * y))
 }
 
 /// Sigmoid forward.
 pub fn sigmoid_forward(x: &Tensor) -> Tensor {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    par_unary(x, |v| 1.0 / (1.0 + (-v).exp()))
 }
 
 /// Sigmoid backward given the *output* of the forward pass.
 pub fn sigmoid_backward(grad_out: &Tensor, output: &Tensor) -> Result<Tensor> {
-    grad_out.zip(output, |g, y| g * y * (1.0 - y))
+    par_zip(grad_out, output, |g, y| g * y * (1.0 - y))
 }
 
 /// Row-wise softmax over the last dimension of a rank-2 tensor.
@@ -78,9 +121,7 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
     }
     let (n, c) = (x.dims()[0], x.dims()[1]);
     let mut out = x.clone();
-    let d = out.data_mut();
-    for i in 0..n {
-        let row = &mut d[i * c..(i + 1) * c];
+    let do_row = |row: &mut [f32]| {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -91,6 +132,13 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
         for v in row.iter_mut() {
             *v *= inv;
         }
+    };
+    if n * c < PAR_MIN {
+        for row in out.data_mut().chunks_mut(c) {
+            do_row(row);
+        }
+    } else {
+        engine::parallel_chunks_mut(out.data_mut(), c, |_i, row| do_row(row));
     }
     Ok(out)
 }
@@ -108,14 +156,20 @@ pub fn softmax_rows_backward(grad_out: &Tensor, output: &Tensor) -> Result<Tenso
     }
     let (n, c) = (output.dims()[0], output.dims()[1]);
     let mut gi = Tensor::zeros(output.dims());
-    for i in 0..n {
+    let do_row = |i: usize, row: &mut [f32]| {
         let p = &output.data()[i * c..(i + 1) * c];
         let g = &grad_out.data()[i * c..(i + 1) * c];
         let dot: f32 = p.iter().zip(g.iter()).map(|(a, b)| a * b).sum();
-        let row = &mut gi.data_mut()[i * c..(i + 1) * c];
         for j in 0..c {
             row[j] = p[j] * (g[j] - dot);
         }
+    };
+    if n * c < PAR_MIN {
+        for (i, row) in gi.data_mut().chunks_mut(c).enumerate() {
+            do_row(i, row);
+        }
+    } else {
+        engine::parallel_chunks_mut(gi.data_mut(), c, do_row);
     }
     Ok(gi)
 }
@@ -131,14 +185,19 @@ pub fn log_softmax_rows(x: &Tensor) -> Result<Tensor> {
     }
     let (n, c) = (x.dims()[0], x.dims()[1]);
     let mut out = x.clone();
-    let d = out.data_mut();
-    for i in 0..n {
-        let row = &mut d[i * c..(i + 1) * c];
+    let do_row = |row: &mut [f32]| {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
         for v in row.iter_mut() {
             *v -= lse;
         }
+    };
+    if n * c < PAR_MIN {
+        for row in out.data_mut().chunks_mut(c) {
+            do_row(row);
+        }
+    } else {
+        engine::parallel_chunks_mut(out.data_mut(), c, |_i, row| do_row(row));
     }
     Ok(out)
 }

@@ -1,7 +1,18 @@
 //! Max/average pooling with backward passes (NCHW layout).
+//!
+//! Every op decomposes over `(sample, channel)` planes, which are
+//! independent, so planes are dispatched across the shared worker pool
+//! ([`crate::engine`]) when the tensor is large enough to pay for the trip.
+//! Each plane writes a disjoint output region; results are bit-identical
+//! across thread counts.
 
+use crate::engine;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
+
+/// Below this element count, pooling runs serially: the tensors are too
+/// small for pool dispatch to pay off.
+const PAR_MIN: usize = 1 << 15;
 
 fn check_nchw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
     if t.shape().rank() != 4 {
@@ -46,28 +57,51 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<MaxPoolForward> {
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     let data = input.data();
-    let mut oi = 0usize;
-    for s in 0..n {
-        for ch in 0..c {
-            let plane = (s * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_off = 0usize;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            let off = plane + (oy * k + ky) * w + (ox * k + kx);
-                            if data[off] > best {
-                                best = data[off];
-                                best_off = off;
-                            }
+    let plane_out = oh * ow;
+
+    // One closure per (sample, channel) plane, writing that plane's output
+    // and argmax slices.
+    let do_plane = |pi: usize, o: &mut [f32], am: &mut [usize]| {
+        let plane = pi * h * w;
+        let mut oi = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_off = 0usize;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let off = plane + (oy * k + ky) * w + (ox * k + kx);
+                        if data[off] > best {
+                            best = data[off];
+                            best_off = off;
                         }
                     }
-                    out.data_mut()[oi] = best;
-                    argmax[oi] = best_off;
-                    oi += 1;
                 }
+                o[oi] = best;
+                am[oi] = best_off;
+                oi += 1;
             }
+        }
+    };
+
+    if input.numel() < PAR_MIN {
+        for pi in 0..n * c {
+            let (o, am) = (
+                &mut out.data_mut()[pi * plane_out..(pi + 1) * plane_out],
+                &mut argmax[pi * plane_out..(pi + 1) * plane_out],
+            );
+            do_plane(pi, o, am);
+        }
+    } else {
+        let per_plane = engine::parallel_map(n * c, |pi| {
+            let mut o = vec![0.0f32; plane_out];
+            let mut am = vec![0usize; plane_out];
+            do_plane(pi, &mut o, &mut am);
+            (o, am)
+        });
+        for (pi, (o, am)) in per_plane.into_iter().enumerate() {
+            out.data_mut()[pi * plane_out..(pi + 1) * plane_out].copy_from_slice(&o);
+            argmax[pi * plane_out..(pi + 1) * plane_out].copy_from_slice(&am);
         }
     }
     Ok(MaxPoolForward {
@@ -99,16 +133,17 @@ pub fn maxpool2d_backward(
 /// Global average pooling `[N, C, H, W] -> [N, C]`.
 pub fn global_avgpool_forward(input: &Tensor) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw(input, "global_avgpool_forward")?;
-    let mut out = Tensor::zeros(&[n, c]);
     let area = (h * w) as f32;
-    for s in 0..n {
-        for ch in 0..c {
-            let plane = (s * c + ch) * h * w;
-            let sum: f32 = input.data()[plane..plane + h * w].iter().sum();
-            out.data_mut()[s * c + ch] = sum / area;
-        }
-    }
-    Ok(out)
+    let plane_mean = |pi: usize| {
+        let plane = pi * h * w;
+        input.data()[plane..plane + h * w].iter().sum::<f32>() / area
+    };
+    let means = if input.numel() < PAR_MIN {
+        (0..n * c).map(plane_mean).collect()
+    } else {
+        engine::parallel_map(n * c, plane_mean)
+    };
+    Tensor::from_vec(&[n, c], means)
 }
 
 /// Backward pass for global average pooling.
@@ -128,14 +163,15 @@ pub fn global_avgpool_backward(grad_output: &Tensor, input_dims: &[usize]) -> Re
     }
     let mut grad_input = Tensor::zeros(input_dims);
     let scale = 1.0 / (h * w) as f32;
-    for s in 0..n {
-        for ch in 0..c {
-            let g = grad_output.data()[s * c + ch] * scale;
-            let plane = (s * c + ch) * h * w;
-            for v in &mut grad_input.data_mut()[plane..plane + h * w] {
-                *v = g;
-            }
+    let go = grad_output.data();
+    if grad_input.numel() < PAR_MIN {
+        for (pi, plane) in grad_input.data_mut().chunks_mut(h * w).enumerate() {
+            plane.fill(go[pi] * scale);
         }
+    } else {
+        engine::parallel_chunks_mut(grad_input.data_mut(), h * w, |pi, plane| {
+            plane.fill(go[pi] * scale);
+        });
     }
     Ok(grad_input)
 }
@@ -153,23 +189,31 @@ pub fn avgpool2d_forward(input: &Tensor, k: usize) -> Result<Tensor> {
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let inv = 1.0 / (k * k) as f32;
     let data = input.data();
-    let mut oi = 0usize;
-    for s in 0..n {
-        for ch in 0..c {
-            let plane = (s * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            acc += data[plane + (oy * k + ky) * w + (ox * k + kx)];
-                        }
+    let small = input.numel() < PAR_MIN;
+
+    let do_plane = |pi: usize, o: &mut [f32]| {
+        let plane = pi * h * w;
+        let mut oi = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        acc += data[plane + (oy * k + ky) * w + (ox * k + kx)];
                     }
-                    out.data_mut()[oi] = acc * inv;
-                    oi += 1;
                 }
+                o[oi] = acc * inv;
+                oi += 1;
             }
         }
+    };
+
+    if small {
+        for (pi, o) in out.data_mut().chunks_mut(oh * ow).enumerate() {
+            do_plane(pi, o);
+        }
+    } else {
+        engine::parallel_chunks_mut(out.data_mut(), oh * ow, do_plane);
     }
     Ok(out)
 }
@@ -192,23 +236,29 @@ pub fn avgpool2d_backward(grad_output: &Tensor, input_dims: &[usize], k: usize) 
     }
     let mut grad_input = Tensor::zeros(input_dims);
     let inv = 1.0 / (k * k) as f32;
-    let mut oi = 0usize;
-    for s in 0..n {
-        for ch in 0..c {
-            let plane = (s * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = grad_output.data()[oi] * inv;
-                    oi += 1;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            grad_input.data_mut()
-                                [plane + (oy * k + ky) * w + (ox * k + kx)] += g;
-                        }
+    let go = grad_output.data();
+    let small = grad_input.numel() < PAR_MIN;
+
+    let do_plane = |pi: usize, gi: &mut [f32]| {
+        let go_plane = pi * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = go[go_plane + oy * ow + ox] * inv;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        gi[(oy * k + ky) * w + (ox * k + kx)] += g;
                     }
                 }
             }
         }
+    };
+
+    if small {
+        for (pi, gi) in grad_input.data_mut().chunks_mut(h * w).enumerate() {
+            do_plane(pi, gi);
+        }
+    } else {
+        engine::parallel_chunks_mut(grad_input.data_mut(), h * w, do_plane);
     }
     Ok(grad_input)
 }
@@ -258,7 +308,7 @@ mod tests {
         assert_eq!(y.dims(), &[2, 3]);
         // Matches a manual mean of one plane.
         let manual: f32 = (0..16)
-            .map(|i| x.data()[1 * 3 * 16 + 2 * 16 + i])
+            .map(|i| x.data()[3 * 16 + 2 * 16 + i])
             .sum::<f32>()
             / 16.0;
         assert!((y.at(&[1, 2]).unwrap() - manual).abs() < 1e-5);

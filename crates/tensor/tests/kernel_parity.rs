@@ -1,0 +1,135 @@
+//! Parity tests for the threaded, blocked kernel engine.
+//!
+//! The blocked GEMM paths and the batch-parallel conv kernels must produce
+//! bit-identical results to a naive triple-loop reference, at every thread
+//! count. These tests sweep the shape grid `m, k, n ∈ {1, 3, 17, 64, 130}`
+//! (covering sub-microkernel edges, one-block, and multi-block cases) for
+//! all three GEMM variants, then check conv forward/backward at 1 vs 4
+//! threads.
+
+use gmorph_tensor::conv::{conv2d_backward_geom, conv2d_forward, Conv2dGeom};
+use gmorph_tensor::rng::Rng;
+use gmorph_tensor::{engine, gemm, Tensor};
+use proptest::prelude::*;
+
+const SIZES: [usize; 5] = [1, 3, 17, 64, 130];
+
+/// Naive triple-loop reference: `C = A · B` with A `[m, k]`, B `[k, n]`.
+fn reference_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..n {
+                out[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+fn fill(rng: &mut Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+/// Transposes a row-major `[r, c]` buffer into `[c, r]`.
+fn transposed(src: &[f32], r: usize, c: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = src[i * c + j];
+        }
+    }
+    out
+}
+
+#[test]
+fn gemm_variants_match_reference_over_size_grid() {
+    let mut rng = Rng::new(0xB10C);
+    for &m in &SIZES {
+        for &k in &SIZES {
+            for &n in &SIZES {
+                let a = fill(&mut rng, m * k);
+                let b = fill(&mut rng, k * n);
+                let want = reference_matmul(&a, &b, m, k, n);
+
+                let at = Tensor::from_vec(&[m, k], a.clone()).unwrap();
+                let bt = Tensor::from_vec(&[k, n], b.clone()).unwrap();
+                let got = gemm::matmul(&at, &bt).unwrap();
+                assert_eq!(got.data(), &want[..], "matmul {m}x{k}x{n}");
+
+                // matmul_nt takes B as [n, k] (transposed storage).
+                let bnt = Tensor::from_vec(&[n, k], transposed(&b, k, n)).unwrap();
+                let got_nt = gemm::matmul_nt(&at, &bnt).unwrap();
+                assert_eq!(got_nt.data(), &want[..], "matmul_nt {m}x{k}x{n}");
+
+                // matmul_tn takes A as [k, m] (transposed storage).
+                let atn = Tensor::from_vec(&[k, m], transposed(&a, m, k)).unwrap();
+                let got_tn = gemm::matmul_tn(&atn, &bt).unwrap();
+                assert_eq!(got_tn.data(), &want[..], "matmul_tn {m}x{k}x{n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_grid_identical_at_one_and_four_threads() {
+    // Thread count must never change a single bit of the output.
+    let mut rng = Rng::new(0x7EAD);
+    for &(m, k, n) in &[(130usize, 64usize, 130usize), (64, 130, 17), (17, 17, 130)] {
+        let at = Tensor::from_vec(&[m, k], fill(&mut rng, m * k)).unwrap();
+        let bt = Tensor::from_vec(&[k, n], fill(&mut rng, k * n)).unwrap();
+        let one = engine::with_thread_limit(1, || gemm::matmul(&at, &bt).unwrap());
+        let four = engine::with_thread_limit(4, || gemm::matmul(&at, &bt).unwrap());
+        assert_eq!(one.data(), four.data(), "{m}x{k}x{n}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_shapes_match_reference(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let want = reference_matmul(&a, &b, m, k, n);
+        let at = Tensor::from_vec(&[m, k], a).unwrap();
+        let bt = Tensor::from_vec(&[k, n], b).unwrap();
+        let got = gemm::matmul(&at, &bt).unwrap();
+        prop_assert_eq!(got.data(), &want[..]);
+    }
+}
+
+#[test]
+fn conv_forward_backward_identical_at_one_and_four_threads() {
+    let run = |threads: usize| {
+        engine::with_thread_limit(threads, || {
+            let mut rng = Rng::new(42);
+            let x = Tensor::randn(&[4, 3, 9, 9], 0.8, &mut rng);
+            let w = Tensor::randn(&[5, 3, 3, 3], 0.5, &mut rng);
+            let b = Tensor::randn(&[5], 0.1, &mut rng);
+            let geom = Conv2dGeom::new(3, 1, 1).unwrap();
+            let fwd = conv2d_forward(&x, &w, Some(&b), geom).unwrap();
+            let go = Tensor::ones(fwd.output.dims());
+            let grads = conv2d_backward_geom(&go, &w, x.dims(), &fwd, geom).unwrap();
+            (
+                fwd.output,
+                grads.grad_input,
+                grads.grad_weight,
+                grads.grad_bias,
+            )
+        })
+    };
+    let (y1, gi1, gw1, gb1) = run(1);
+    let (y4, gi4, gw4, gb4) = run(4);
+    assert_eq!(y1.data(), y4.data(), "conv forward differs");
+    assert_eq!(gi1.data(), gi4.data(), "conv grad_input differs");
+    assert_eq!(gw1.data(), gw4.data(), "conv grad_weight differs");
+    assert_eq!(gb1.data(), gb4.data(), "conv grad_bias differs");
+}

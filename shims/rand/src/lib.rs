@@ -1,0 +1,397 @@
+//! Offline stand-in for the `rand` 0.8 API subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate vendors a
+//! from-scratch implementation that is **bit-compatible** with
+//! `rand 0.8` + `rand_chacha 0.3` for every call the workspace makes:
+//!
+//! - [`rngs::StdRng`] is ChaCha12 with a 64-bit block counter, exactly as
+//!   `rand_chacha::ChaCha12Rng` (the `StdRng` of rand 0.8);
+//! - [`SeedableRng::seed_from_u64`] expands the seed with the same PCG32
+//!   output function as `rand_core 0.6`;
+//! - `gen::<u64>` / `gen::<u32>` consume keystream words in the same order
+//!   as `rand_core`'s `BlockRng`;
+//! - `gen::<f32>` / `gen::<f64>` use the 24-/53-bit fraction conversion of
+//!   rand's `Standard` distribution;
+//! - `gen_range` over integer ranges uses the widening-multiply rejection
+//!   algorithm of `UniformInt::sample_single(_inclusive)`.
+//!
+//! Seeded streams therefore match what the real dependency would produce,
+//! which keeps seed-tuned thresholds elsewhere in the repo meaningful.
+
+/// One ChaCha block: 16 output words from 8 key words, a 64-bit counter,
+/// and a 64-bit nonce (zero for `StdRng`), with `rounds` rounds.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize, out: &mut [u32; 16]) {
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut initial = [0u32; 16];
+    initial[..4].copy_from_slice(&CONSTANTS);
+    initial[4..12].copy_from_slice(key);
+    initial[12] = counter as u32;
+    initial[13] = (counter >> 32) as u32;
+    // Words 14-15 are the nonce ("stream"); StdRng leaves it zero.
+
+    #[inline(always)]
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    let mut x = initial;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter(&mut x, 0, 4, 8, 12);
+        quarter(&mut x, 1, 5, 9, 13);
+        quarter(&mut x, 2, 6, 10, 14);
+        quarter(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut x, 0, 5, 10, 15);
+        quarter(&mut x, 1, 6, 11, 12);
+        quarter(&mut x, 2, 7, 8, 13);
+        quarter(&mut x, 3, 4, 9, 14);
+    }
+    for (o, (w, i)) in out.iter_mut().zip(x.iter().zip(initial.iter())) {
+        *o = w.wrapping_add(*i);
+    }
+}
+
+/// Core random source: 32/64-bit outputs.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits (two consecutive 32-bit words, low first —
+    /// matching `BlockRng`'s `next_u64`).
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 32-byte seed.
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    /// Expands a 64-bit seed with the PCG32 output function, exactly as
+    /// `rand_core 0.6`'s default `seed_from_u64`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{chacha_block, RngCore, SeedableRng};
+
+    /// The standard generator: ChaCha12 with a 64-bit counter, matching
+    /// `rand 0.8`'s `StdRng` (`rand_chacha::ChaCha12Rng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; 16],
+        /// Next unread index into `buf`; 16 means exhausted.
+        index: usize,
+    }
+
+    impl SeedableRng for StdRng {
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+                *k = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index == 16 {
+                chacha_block(&self.key, self.counter, 12, &mut self.buf);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+    }
+}
+
+/// Types drawable from the `Standard` distribution via [`Rng::gen`].
+pub trait Sample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand's Standard: the sign bit of one u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Sample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand's Standard: 24-bit fraction in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand's Standard: 53-bit fraction in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Exact port of `UniformInt::sample_single_inclusive` for 64-bit types:
+/// widening multiply with rejection of the biased low zone.
+fn uniform_u64_inclusive<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        // Full u64 range.
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        let hi = (m >> 64) as u64;
+        let lo = m as u64;
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+/// Exact port of `UniformInt::sample_single_inclusive` for 32-bit types.
+fn uniform_u32_inclusive<R: RngCore + ?Sized>(low: u32, high: u32, rng: &mut R) -> u32 {
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        return rng.next_u32();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64) * (range as u64);
+        let hi = (m >> 32) as u32;
+        let lo = m as u32;
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_u64_family {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                uniform_u64_inclusive(self.start as u64, self.end as u64 - 1, rng) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                uniform_u64_inclusive(start as u64, end as u64, rng) as $ty
+            }
+        }
+    )*};
+}
+
+range_u64_family!(usize, u64);
+
+macro_rules! range_u32_family {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                uniform_u32_inclusive(self.start as u32, self.end as u32 - 1, rng) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                uniform_u32_inclusive(start as u32, end as u32, rng) as $ty
+            }
+        }
+    )*};
+}
+
+range_u32_family!(u32, u16, u8);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // rand's UniformFloat: a [1, 2) mantissa draw, then scale + offset.
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | 0x3f80_0000);
+        value1_2 * scale + offset
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = self.end - self.start;
+        let offset = self.start - scale;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | 0x3ff0_0000_0000_0000);
+        value1_2 * scale + offset
+    }
+}
+
+/// Extension methods mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the `Standard` distribution.
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    /// The zero-key, zero-nonce, counter-0 ChaCha20 keystream block from
+    /// the original ecrypt verification set. Validates the block function;
+    /// ChaCha12 differs only in round count.
+    #[test]
+    fn chacha20_reference_block() {
+        let mut out = [0u32; 16];
+        chacha_block(&[0; 8], 0, 20, &mut out);
+        let bytes: Vec<u8> = out.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let expect: [u8; 32] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+            0x8b, 0x77, 0x0d, 0xc7,
+        ];
+        assert_eq!(&bytes[..32], &expect);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xa: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let xc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f32>() as f64).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 2..9 drawn");
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..=4);
+            assert!(v <= 4);
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_enough() {
+        // The rejection zone must not visibly skew small ranges.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bool_uses_sign_bit() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+}
