@@ -3,9 +3,11 @@
 //! ```text
 //! gmorph optimize --bench B1 [--config FILE] [--threshold 0.01]
 //!                 [--mode real|surrogate] [--iterations N] [--seed N]
-//!                 [--batch-size K] [--render]
+//!                 [--batch-size K] [--throughput FLOPS] [--render]
+//!                 [--trace PATH] [--quiet]
 //! gmorph benchmarks
 //! gmorph baselines --bench B1
+//! gmorph trace-validate PATH
 //! ```
 //!
 //! `optimize` prepares a benchmark session (training or loading cached
@@ -13,11 +15,17 @@
 //! paper-style configuration file (see `gmorph::configfile`), with
 //! command-line flags overriding file values. `--batch-size` switches to
 //! the batched parallel search (§7 extension).
+//!
+//! `--trace PATH` (or the `GMORPH_TRACE` environment variable) enables
+//! structured telemetry: every span, search iteration, and metric flush is
+//! appended to PATH as JSONL, and the search trace is additionally saved
+//! next to it as `PATH.trace.jsonl` for offline curve plotting.
+//! `trace-validate` checks such a file against the documented schema.
 
 use gmorph::perf::estimator::estimate_latency_ms;
 use gmorph::prelude::*;
 use gmorph::search::batched::run_search_batched;
-use gmorph::{baselines, configfile};
+use gmorph::{baselines, configfile, telemetry};
 use std::process::ExitCode;
 
 struct Cli {
@@ -29,7 +37,22 @@ struct Cli {
     iterations: Option<usize>,
     seed: Option<u64>,
     batch_size: Option<usize>,
+    throughput: Option<f64>,
+    trace: Option<std::path::PathBuf>,
+    quiet: bool,
     render: bool,
+    /// Positional argument (the file for `trace-validate`).
+    target: Option<std::path::PathBuf>,
+}
+
+/// `println!` that respects `--quiet`. Progress chatter goes through this;
+/// hard results and errors print unconditionally.
+macro_rules! say {
+    ($cli:expr, $($t:tt)*) => {
+        if !$cli.quiet {
+            println!($($t)*);
+        }
+    };
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -44,7 +67,11 @@ fn parse_cli() -> Result<Cli, String> {
         iterations: None,
         seed: None,
         batch_size: None,
+        throughput: None,
+        trace: None,
+        quiet: false,
         render: false,
+        target: None,
     };
     while let Some(arg) = args.next() {
         let mut take = |what: &str| args.next().ok_or(format!("{what} needs a value"));
@@ -74,7 +101,16 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.batch_size =
                     Some(take("--batch-size")?.parse().map_err(|_| "bad batch size")?)
             }
+            "--throughput" => {
+                cli.throughput =
+                    Some(take("--throughput")?.parse().map_err(|_| "bad throughput")?)
+            }
+            "--trace" => cli.trace = Some(take("--trace")?.into()),
+            "--quiet" => cli.quiet = true,
             "--render" => cli.render = true,
+            other if !other.starts_with('-') && cli.target.is_none() => {
+                cli.target = Some(other.into());
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -118,6 +154,30 @@ fn cmd_baselines(bench: BenchId, seed: u64) -> gmorph::tensor::Result<()> {
     Ok(())
 }
 
+fn cmd_trace_validate(cli: &Cli) -> Result<(), String> {
+    let path = cli.target.as_ref().ok_or("trace-validate needs a file path")?;
+    let stats = telemetry::schema::validate_file(path)?;
+    say!(cli, "{}: {} events, schema OK", path.display(), stats.lines);
+    for (kind, n) in &stats.by_kind {
+        say!(cli, "  {kind:<12} {n}");
+    }
+    say!(
+        cli,
+        "  {} distinct names, {} threads, {} spans balanced",
+        stats.names,
+        stats.threads,
+        stats.spans
+    );
+    Ok(())
+}
+
+/// The trace path in effect: `--trace` beats the `GMORPH_TRACE` variable.
+fn effective_trace(cli: &Cli) -> Option<std::path::PathBuf> {
+    cli.trace
+        .clone()
+        .or_else(|| std::env::var_os("GMORPH_TRACE").map(Into::into))
+}
+
 fn cmd_optimize(cli: &Cli) -> Result<(), String> {
     let bench_id = cli.bench.ok_or("optimize needs --bench")?;
     let mut cfg = match &cli.config {
@@ -137,22 +197,28 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
         cfg.seed = s;
     }
 
-    println!("preparing {bench_id} (teachers train once, then cache)...");
+    say!(cli, "preparing {bench_id} (teachers train once, then cache)...");
     let bench = build_benchmark(bench_id, &DataProfile::standard(), cfg.seed)
         .map_err(|e| e.to_string())?;
     let session = Session::prepare(
         bench,
         &SessionConfig {
             seed: cfg.seed,
+            trace: cli.trace.clone(),
+            quiet: cli.quiet,
+            virtual_throughput: cli
+                .throughput
+                .unwrap_or(gmorph::perf::clock::DEFAULT_THROUGHPUT),
             ..Default::default()
         },
     )
     .map_err(|e| e.to_string())?;
     for (spec, score) in session.bench.mini.iter().zip(&session.teacher_scores) {
-        println!("  teacher {:<28} score {score:.3}", spec.name);
+        say!(cli, "  teacher {:<28} score {score:.3}", spec.name);
     }
 
-    println!(
+    say!(
+        cli,
         "searching: {} iterations, {:?} mode, {:.1}% budget{}...",
         cfg.iterations,
         cfg.mode,
@@ -161,15 +227,18 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
             .map(|k| format!(", batch size {k}"))
             .unwrap_or_default()
     );
+    let trace_path = effective_trace(cli);
     let (best_mini, latency, orig, speedup, drop) = match cli.batch_size {
         Some(k) => {
             let mode = session.eval_mode(cfg.mode).map_err(|e| e.to_string())?;
+            let mut search_cfg = cfg.to_search_config();
+            search_cfg.virtual_throughput = session.virtual_throughput;
             let r = run_search_batched(
                 &session.mini_graph,
                 &session.paper_graph,
                 &session.weights,
                 &mode,
-                &cfg.to_search_config(),
+                &search_cfg,
                 k,
             )
             .map_err(|e| e.to_string())?;
@@ -183,6 +252,12 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
         }
         None => {
             let r = session.optimize(&cfg).map_err(|e| e.to_string())?;
+            if let Some(path) = &trace_path {
+                let artifact = path.with_extension("trace.jsonl");
+                gmorph::search::persist::save_trace(&artifact, &r)
+                    .map_err(|e| format!("saving search trace: {e}"))?;
+                say!(cli, "search trace saved to {}", artifact.display());
+            }
             (
                 r.best.mini,
                 r.best.latency_ms,
@@ -199,6 +274,9 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
     if cli.render {
         println!("\n{}", best_mini.render());
     }
+    if telemetry::enabled() && !cli.quiet {
+        print!("\n{}", telemetry::metrics::summary_table());
+    }
     Ok(())
 }
 
@@ -207,7 +285,7 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: gmorph <optimize|benchmarks|baselines> [options]");
+            eprintln!("usage: gmorph <optimize|benchmarks|baselines|trace-validate> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -224,8 +302,11 @@ fn main() -> ExitCode {
             cmd_baselines(bench, cli.seed.unwrap_or(0)).map_err(|e| e.to_string())
         }
         "optimize" => cmd_optimize(&cli),
+        "trace-validate" => cmd_trace_validate(&cli),
         other => Err(format!("unknown command {other}")),
     };
+    // Flush and close the telemetry sink (no-op when disabled).
+    telemetry::shutdown();
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

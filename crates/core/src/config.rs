@@ -33,6 +33,16 @@ pub struct SessionConfig {
     /// kernels decompose by shape with fixed reduction orders — only
     /// wall-clock time.
     pub threads: Option<usize>,
+    /// Write a structured JSONL telemetry trace to this path. `None`
+    /// falls back to the `GMORPH_TRACE` environment variable; telemetry
+    /// stays disabled (near-zero overhead) when neither is set.
+    pub trace: Option<std::path::PathBuf>,
+    /// Suppress informational console output.
+    pub quiet: bool,
+    /// Virtual-clock effective training throughput in FLOP/s used to
+    /// account paper-scale search cost (default: the paper's RTX-8000
+    /// assumption).
+    pub virtual_throughput: f64,
 }
 
 impl Default for SessionConfig {
@@ -48,6 +58,9 @@ impl Default for SessionConfig {
             train_frac: 0.75,
             use_cache: true,
             threads: None,
+            trace: None,
+            quiet: false,
+            virtual_throughput: gmorph_perf::clock::DEFAULT_THROUGHPUT,
         }
     }
 }
@@ -61,6 +74,21 @@ impl SessionConfig {
         if let Some(n) = self.threads {
             gmorph_tensor::engine::set_num_threads(n);
         }
+    }
+
+    /// Installs the telemetry sink named by `trace` (or by `GMORPH_TRACE`
+    /// when `trace` is `None`). Returns the trace path when telemetry was
+    /// enabled. A no-op when a sink is already installed.
+    pub fn apply_telemetry(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        if gmorph_telemetry::enabled() {
+            return Ok(None);
+        }
+        if let Some(path) = &self.trace {
+            let sink = gmorph_telemetry::JsonlSink::create(path)?;
+            gmorph_telemetry::install(std::sync::Arc::new(sink));
+            return Ok(Some(path.clone()));
+        }
+        Ok(gmorph_telemetry::init_from_env())
     }
 }
 
@@ -150,6 +178,7 @@ impl OptimizationConfig {
                 seed: self.seed,
             },
             virtual_samples: 20_000,
+            virtual_throughput: gmorph_perf::clock::DEFAULT_THROUGHPUT,
             seed: self.seed,
         }
     }

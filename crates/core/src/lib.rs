@@ -46,6 +46,7 @@ pub use gmorph_models as models;
 pub use gmorph_nn as nn;
 pub use gmorph_perf as perf;
 pub use gmorph_search as search;
+pub use gmorph_telemetry as telemetry;
 pub use gmorph_tensor as tensor;
 
 /// Re-export of the benchmark registry for ergonomic access.

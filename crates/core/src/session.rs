@@ -40,12 +40,31 @@ pub struct Session {
     pub weights: WeightStore,
     /// Session seed.
     pub seed: u64,
+    /// Virtual-clock throughput carried into every optimization run.
+    pub virtual_throughput: f64,
 }
 
 impl Session {
     /// Trains (or loads cached) teachers and parses the graphs.
     pub fn prepare(bench: BenchmarkDef, cfg: &SessionConfig) -> Result<Session> {
         cfg.apply_threads();
+        cfg.apply_telemetry()
+            .map_err(|e| TensorError::Io(format!("installing telemetry sink: {e}")))?;
+        let _span = gmorph_telemetry::span!(
+            "session.prepare",
+            bench = bench.id.name(),
+            tasks = bench.mini.len(),
+            seed = cfg.seed
+        );
+        gmorph_telemetry::meta!(
+            "session.meta",
+            bench = bench.id.name(),
+            tasks = bench.mini.len(),
+            seed = cfg.seed,
+            train_frac = cfg.train_frac,
+            use_cache = cfg.use_cache,
+            virtual_throughput = cfg.virtual_throughput
+        );
         let mut rng = Rng::new(cfg.seed ^ 0x005E_5510);
         let split = bench.dataset.split(cfg.train_frac, &mut rng)?;
         let mut teachers = Vec::with_capacity(bench.mini.len());
@@ -84,6 +103,7 @@ impl Session {
             paper_graph,
             weights,
             seed: cfg.seed,
+            virtual_throughput: cfg.virtual_throughput,
         })
     }
 
@@ -110,13 +130,20 @@ impl Session {
 
     /// Runs graph mutation optimization (Algorithm 1).
     pub fn optimize(&self, cfg: &OptimizationConfig) -> Result<SearchResult> {
+        let _span = gmorph_telemetry::span!(
+            "session.optimize",
+            iterations = cfg.iterations,
+            seed = cfg.seed
+        );
         let mode = self.eval_mode(cfg.mode)?;
+        let mut search_cfg = cfg.to_search_config();
+        search_cfg.virtual_throughput = self.virtual_throughput;
         run_search(
             &self.mini_graph,
             &self.paper_graph,
             &self.weights,
             &mode,
-            &cfg.to_search_config(),
+            &search_cfg,
         )
     }
 

@@ -85,10 +85,15 @@ pub fn train_teacher(
         });
     }
     let task = train.tasks[task_idx].clone();
+    let _span = gmorph_telemetry::span!(
+        "teacher.train",
+        task = task.name.as_str(),
+        epochs = cfg.epochs
+    );
     let mut rng = Rng::new(cfg.seed ^ 0x07EA_C4E8);
     let mut opt = Optim::adam(cfg.lr);
     let mut scores = Vec::with_capacity(cfg.epochs);
-    for _ in 0..cfg.epochs {
+    for epoch in 1..=cfg.epochs {
         for batch in train.batch_indices(cfg.batch, &mut rng) {
             let x = train.inputs.select_rows(&batch)?;
             let y = model.forward(&x, Mode::Train)?;
@@ -97,7 +102,15 @@ pub fn train_teacher(
             opt.begin_step();
             model.visit_params(&mut |p| opt.update(p));
         }
-        scores.push(evaluate(model, test, task_idx)?);
+        let score = evaluate(model, test, task_idx)?;
+        gmorph_telemetry::point!(
+            "teacher.epoch",
+            task = task.name.as_str(),
+            epoch = epoch,
+            score = score
+        );
+        gmorph_telemetry::counter!("teacher.epochs");
+        scores.push(score);
     }
     let final_score = scores.last().copied().unwrap_or(0.0);
     Ok(TrainReport {

@@ -182,6 +182,13 @@ pub fn finetune(
     let mut terminated_early = false;
     let mut epochs_run = 0usize;
     let mut predictor = ConvergencePredictor::new();
+    let _span = gmorph_telemetry::span!(
+        "finetune",
+        mode = "real",
+        max_epochs = cfg.max_epochs,
+        target_drop = cfg.target_drop
+    );
+    gmorph_telemetry::counter!("finetune.runs");
 
     'outer: for epoch in 1..=cfg.max_epochs {
         let mut ix: Vec<usize> = (0..n).collect();
@@ -202,6 +209,7 @@ pub fn finetune(
         if epoch % cfg.eval_every.max(1) == 0 || epoch == cfg.max_epochs {
             let scores = score_tree(model, test)?;
             let drop = max_drop(&scores, teacher_scores);
+            gmorph_telemetry::point!("finetune.eval", mode = "real", epoch = epoch, drop = drop);
             records.push(EvalRecord {
                 epoch,
                 drop,
@@ -223,11 +231,21 @@ pub fn finetune(
                 ) {
                     if 1.0 - projected > cfg.target_drop + 0.002 {
                         terminated_early = true;
+                        gmorph_telemetry::point!(
+                            "finetune.early_term",
+                            mode = "real",
+                            epoch = epoch,
+                            projected_drop = 1.0 - projected
+                        );
                         break 'outer;
                     }
                 }
             }
         }
+    }
+    gmorph_telemetry::counter!("finetune.epochs", epochs_run as u64);
+    if terminated_early {
+        gmorph_telemetry::counter!("finetune.early_terminated");
     }
     let (final_drop, final_scores) = match records.last() {
         Some(r) => (r.drop, r.scores.clone()),
@@ -379,11 +397,24 @@ pub fn surrogate_finetune(
     let mut terminated_early = false;
     let mut epochs_run = 0usize;
     let mut predictor = ConvergencePredictor::new();
+    let _span = gmorph_telemetry::span!(
+        "finetune",
+        mode = "surrogate",
+        max_epochs = cfg.max_epochs,
+        target_drop = cfg.target_drop
+    );
+    gmorph_telemetry::counter!("finetune.runs");
     'outer: for epoch in (cfg.eval_every.max(1)..=cfg.max_epochs).step_by(cfg.eval_every.max(1))
     {
         epochs_run = epoch;
         let drop = drop_at(epoch);
         let scores: Vec<f32> = teacher_scores.iter().map(|t| t - drop).collect();
+        gmorph_telemetry::point!(
+            "finetune.eval",
+            mode = "surrogate",
+            epoch = epoch,
+            drop = drop
+        );
         records.push(EvalRecord {
             epoch,
             drop,
@@ -399,6 +430,12 @@ pub fn surrogate_finetune(
             {
                 if 1.0 - projected > cfg.target_drop + 0.002 {
                     terminated_early = true;
+                    gmorph_telemetry::point!(
+                        "finetune.early_term",
+                        mode = "surrogate",
+                        epoch = epoch,
+                        projected_drop = 1.0 - projected
+                    );
                     break 'outer;
                 }
             }
@@ -412,6 +449,10 @@ pub fn surrogate_finetune(
             drop,
             scores: teacher_scores.iter().map(|t| t - drop).collect(),
         });
+    }
+    gmorph_telemetry::counter!("finetune.epochs", epochs_run as u64);
+    if terminated_early {
+        gmorph_telemetry::counter!("finetune.early_terminated");
     }
     let last = records.last().expect("at least one record");
     Ok(FinetuneResult {

@@ -20,14 +20,34 @@ pub struct VirtualClock {
     samples: u64,
 }
 
+/// Default effective training throughput, FLOP/s (RTX-8000-class).
+pub const DEFAULT_THROUGHPUT: f64 = 20e12;
+
 impl VirtualClock {
     /// Creates a clock with the default paper-scale assumptions.
     pub fn new(samples: u64) -> Self {
+        VirtualClock::with_throughput(samples, DEFAULT_THROUGHPUT)
+    }
+
+    /// Creates a clock with an explicit effective training throughput in
+    /// FLOP/s — the knob for modelling accelerators other than the
+    /// paper's RTX 8000. Non-positive values fall back to the default.
+    pub fn with_throughput(samples: u64, throughput: f64) -> Self {
+        let throughput = if throughput > 0.0 {
+            throughput
+        } else {
+            DEFAULT_THROUGHPUT
+        };
         VirtualClock {
             seconds: 0.0,
-            throughput: 20e12, // Effective training throughput, FLOP/s.
+            throughput,
             samples,
         }
+    }
+
+    /// The assumed effective training throughput, FLOP/s.
+    pub fn throughput(&self) -> f64 {
+        self.throughput
     }
 
     /// Elapsed virtual seconds.
@@ -83,6 +103,22 @@ mod tests {
         let mut c = VirtualClock::new(20_000);
         c.charge_finetune(30_000_000_000, 35);
         assert!(c.hours() > 0.2 && c.hours() < 40.0, "hours = {}", c.hours());
+    }
+
+    #[test]
+    fn throughput_scales_charges() {
+        let mut fast = VirtualClock::with_throughput(10_000, 40e12);
+        let mut slow = VirtualClock::with_throughput(10_000, 10e12);
+        fast.charge_finetune(1_000_000_000, 10);
+        slow.charge_finetune(1_000_000_000, 10);
+        assert!((slow.seconds() / fast.seconds() - 4.0).abs() < 1e-9);
+        assert_eq!(fast.throughput(), 40e12);
+        // Degenerate throughput falls back to the default.
+        assert_eq!(
+            VirtualClock::with_throughput(1, 0.0).throughput(),
+            DEFAULT_THROUGHPUT
+        );
+        assert_eq!(VirtualClock::new(1).throughput(), DEFAULT_THROUGHPUT);
     }
 
     #[test]

@@ -3,6 +3,25 @@
 
 use gmorph_graph::CapacityVector;
 
+/// Which rule of the capacity filter matched a skipped candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterVerdict {
+    /// The candidate repeats a recorded failure exactly.
+    ExactMatch,
+    /// The candidate shares strictly more capacity than a recorded failure.
+    MoreAggressive,
+}
+
+impl FilterVerdict {
+    /// Stable name for telemetry (`filter.rule.*` counters).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FilterVerdict::ExactMatch => "exact",
+            FilterVerdict::MoreAggressive => "more_aggressive",
+        }
+    }
+}
+
 /// Rule-based filtering over capacity vectors.
 ///
 /// "When a mutated abs-graph is trained and shown to be non-promising,
@@ -44,9 +63,20 @@ impl CapacityRuleFilter {
 
     /// True when `cv` should be skipped without fine-tuning.
     pub fn should_skip(&self, cv: &CapacityVector) -> bool {
-        self.failures
-            .iter()
-            .any(|f| cv.more_aggressive_than(f) || cv == f)
+        self.verdict(cv).is_some()
+    }
+
+    /// Why `cv` would be skipped, or `None` when it passes the filter.
+    /// An exact repeat is reported as [`FilterVerdict::ExactMatch`] even
+    /// though it is also trivially "as aggressive as" the failure.
+    pub fn verdict(&self, cv: &CapacityVector) -> Option<FilterVerdict> {
+        if self.failures.iter().any(|f| cv == f) {
+            return Some(FilterVerdict::ExactMatch);
+        }
+        if self.failures.iter().any(|f| cv.more_aggressive_than(f)) {
+            return Some(FilterVerdict::MoreAggressive);
+        }
+        None
     }
 }
 
@@ -172,6 +202,21 @@ mod tests {
         assert!(!f.should_skip(&cv(120, vec![70, 80], vec![60, 70], 10)));
         // The exact same configuration is skipped too.
         assert!(f.should_skip(&cv(100, vec![60, 70], vec![40, 50], 20)));
+    }
+
+    #[test]
+    fn verdict_distinguishes_rules() {
+        let mut f = CapacityRuleFilter::new();
+        f.record_failure(cv(100, vec![60, 70], vec![40, 50], 20));
+        assert_eq!(
+            f.verdict(&cv(100, vec![60, 70], vec![40, 50], 20)),
+            Some(FilterVerdict::ExactMatch)
+        );
+        assert_eq!(
+            f.verdict(&cv(80, vec![50, 60], vec![20, 30], 30)),
+            Some(FilterVerdict::MoreAggressive)
+        );
+        assert_eq!(f.verdict(&cv(120, vec![70, 80], vec![60, 70], 10)), None);
     }
 
     #[test]

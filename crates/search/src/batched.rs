@@ -82,8 +82,26 @@ pub fn run_search_batched(
     policy.alpha = cfg.sa_alpha;
     let mut history = History::new(policy.max_elites);
     let mut rule_filter = CapacityRuleFilter::new();
-    let mut clock = VirtualClock::new(cfg.virtual_samples);
+    let mut clock = VirtualClock::with_throughput(cfg.virtual_samples, cfg.virtual_throughput);
     let original_latency_ms = estimate_latency_ms(paper, Backend::Eager)?;
+    let _run_span = gmorph_telemetry::span!(
+        "search.run_batched",
+        iterations = cfg.iterations,
+        batch_size = batch_size,
+        seed = cfg.seed
+    );
+    gmorph_telemetry::meta!(
+        "search.run_meta",
+        iterations = cfg.iterations,
+        seed = cfg.seed,
+        rule_filter = cfg.rule_filter,
+        early_termination = cfg.finetune.early_termination,
+        sa_alpha = cfg.sa_alpha,
+        virtual_samples = cfg.virtual_samples,
+        virtual_throughput = clock.throughput(),
+        original_latency_ms = original_latency_ms,
+        nodes = mini.len()
+    );
 
     let mut best_mini = mini.clone();
     let mut best_paper = paper.clone();

@@ -57,6 +57,9 @@ pub struct SearchConfig {
     pub finetune: FinetuneConfig,
     /// Virtual-clock sample count (paper-scale representative inputs).
     pub virtual_samples: u64,
+    /// Virtual-clock effective training throughput in FLOP/s (the paper's
+    /// RTX-8000 assumption by default).
+    pub virtual_throughput: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -73,6 +76,7 @@ impl Default for SearchConfig {
             rule_filter: false,
             finetune: FinetuneConfig::default(),
             virtual_samples: 20_000,
+            virtual_throughput: gmorph_perf::clock::DEFAULT_THROUGHPUT,
             seed: 0,
         }
     }
@@ -91,6 +95,31 @@ pub enum CandidateStatus {
     TerminatedEarly,
     /// No legal mutation was found this round.
     NoMutation,
+}
+
+impl CandidateStatus {
+    /// Stable wire name used in telemetry events and persisted traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CandidateStatus::Evaluated => "evaluated",
+            CandidateStatus::Duplicate => "duplicate",
+            CandidateStatus::RuleFiltered => "rule_filtered",
+            CandidateStatus::TerminatedEarly => "terminated_early",
+            CandidateStatus::NoMutation => "no_mutation",
+        }
+    }
+
+    /// Parses a wire name written by [`CandidateStatus::as_str`].
+    pub fn parse(s: &str) -> Option<CandidateStatus> {
+        Some(match s {
+            "evaluated" => CandidateStatus::Evaluated,
+            "duplicate" => CandidateStatus::Duplicate,
+            "rule_filtered" => CandidateStatus::RuleFiltered,
+            "terminated_early" => CandidateStatus::TerminatedEarly,
+            "no_mutation" => CandidateStatus::NoMutation,
+            _ => return None,
+        })
+    }
 }
 
 /// Per-iteration trace record (drives Figure 8's curves).
@@ -196,10 +225,31 @@ pub fn run_search(
     policy.alpha = cfg.sa_alpha;
     let mut history = History::new(policy.max_elites);
     let mut rule_filter = CapacityRuleFilter::new();
-    let mut clock = VirtualClock::new(cfg.virtual_samples);
+    let mut clock = VirtualClock::with_throughput(cfg.virtual_samples, cfg.virtual_throughput);
     let mut trace: Vec<TraceRecord> = Vec::with_capacity(cfg.iterations);
 
     let original_latency_ms = estimate_latency_ms(paper, Backend::Eager)?;
+    let _run_span = gmorph_telemetry::span!(
+        "search.run",
+        iterations = cfg.iterations,
+        seed = cfg.seed,
+        objective = match cfg.objective {
+            Objective::Latency => "latency",
+            Objective::Flops => "flops",
+        }
+    );
+    gmorph_telemetry::meta!(
+        "search.run_meta",
+        iterations = cfg.iterations,
+        seed = cfg.seed,
+        rule_filter = cfg.rule_filter,
+        early_termination = cfg.finetune.early_termination,
+        sa_alpha = cfg.sa_alpha,
+        virtual_samples = cfg.virtual_samples,
+        virtual_throughput = clock.throughput(),
+        original_latency_ms = original_latency_ms,
+        nodes = mini.len()
+    );
     let teacher_scores = mode.teacher_scores().to_vec();
     let mut best = BestModel {
         mini: mini.clone(),
@@ -255,6 +305,7 @@ pub fn run_search(
             cfg.max_ops_per_pass,
             &mut rng,
         )?;
+        let temperature = policy.temperature(iter);
         let (cand_mini, cand_paper) = match candidate {
             Some(c) => c,
             None => {
@@ -270,9 +321,16 @@ pub fn run_search(
                     &clock,
                     wall_start,
                 ));
+                gmorph_telemetry::counter!("search.no_mutation");
+                emit_iter(trace.last().unwrap(), temperature, "no_mutation", -1, -1);
                 continue;
             }
         };
+        let cand_nodes = cand_mini.len() as i64;
+        let cand_rescales = cand_mini
+            .iter()
+            .filter(|(_, n)| matches!(n.spec, gmorph_nn::BlockSpec::Rescale { .. }))
+            .count() as i64;
         let cand_latency = estimate_latency_ms(&cand_paper, Backend::Eager)?;
         let cand_objective = match cfg.objective {
             Objective::Latency => cand_latency,
@@ -295,12 +353,25 @@ pub fn run_search(
                 &clock,
                 wall_start,
             ));
+            gmorph_telemetry::counter!("search.duplicates");
+            emit_iter(
+                trace.last().unwrap(),
+                temperature,
+                "duplicate",
+                cand_nodes,
+                cand_rescales,
+            );
             continue;
         }
 
         // Rule-based filtering (§5.1) before any fine-tuning.
         let capacity = CapacityVector::of(&cand_mini)?;
-        if cfg.rule_filter && rule_filter.should_skip(&capacity) {
+        let filter_verdict = if cfg.rule_filter {
+            rule_filter.verdict(&capacity)
+        } else {
+            None
+        };
+        if let Some(verdict) = filter_verdict {
             rule_filtered += 1;
             clock.charge_overhead(2.0);
             trace.push(record(
@@ -315,6 +386,17 @@ pub fn run_search(
                 &clock,
                 wall_start,
             ));
+            gmorph_telemetry::counter!("search.rule_filtered");
+            if gmorph_telemetry::enabled() {
+                gmorph_telemetry::counter!(&format!("filter.rule.{}", verdict.as_str()));
+            }
+            emit_iter(
+                trace.last().unwrap(),
+                temperature,
+                verdict.as_str(),
+                cand_nodes,
+                cand_rescales,
+            );
             continue;
         }
 
@@ -333,6 +415,7 @@ pub fn run_search(
 
         // Step 4: elites and best model.
         let met = evaluation.result.met_target;
+        let mut reason = "rejected_drop";
         if met {
             let best_objective = match cfg.objective {
                 Objective::Latency => best.latency_ms,
@@ -347,6 +430,10 @@ pub fn run_search(
                     drop: evaluation.result.final_drop,
                     scores: evaluation.result.final_scores.clone(),
                 };
+                reason = "accepted_best";
+                gmorph_telemetry::counter!("search.best_improved");
+            } else {
+                reason = "accepted_elite";
             }
             history.add_elite(Elite {
                 mini: cand_mini,
@@ -356,14 +443,22 @@ pub fn run_search(
                 latency_ms: cand_latency,
                 scores: evaluation.result.final_scores.clone(),
             });
-        } else if cfg.rule_filter {
-            rule_filter.record_failure(capacity);
+            gmorph_telemetry::counter!("search.accepted");
+        } else {
+            if cfg.rule_filter {
+                rule_filter.record_failure(capacity);
+            }
+            gmorph_telemetry::counter!("search.rejected");
         }
         let status = if evaluation.result.terminated_early {
             CandidateStatus::TerminatedEarly
         } else {
             CandidateStatus::Evaluated
         };
+        gmorph_telemetry::counter!("search.evaluated");
+        if evaluation.result.terminated_early {
+            gmorph_telemetry::counter!("search.early_terminated");
+        }
         trace.push(record(
             iter,
             status,
@@ -376,9 +471,29 @@ pub fn run_search(
             &clock,
             wall_start,
         ));
+        emit_iter(
+            trace.last().unwrap(),
+            temperature,
+            reason,
+            cand_nodes,
+            cand_rescales,
+        );
     }
 
     let wall_seconds = wall_start.elapsed().as_secs_f64();
+    gmorph_telemetry::point!(
+        "search.done",
+        iterations = cfg.iterations,
+        evaluated = evaluated,
+        rule_filtered = rule_filtered,
+        early_terminated = early_terminated,
+        duplicates = duplicates,
+        best_latency_ms = best.latency_ms,
+        original_latency_ms = original_latency_ms,
+        speedup = original_latency_ms / best.latency_ms,
+        virtual_hours = clock.hours(),
+        wall_seconds = wall_seconds
+    );
     Ok(SearchResult {
         speedup: original_latency_ms / best.latency_ms,
         best,
@@ -433,6 +548,32 @@ pub fn propose_candidate(
         return Ok(Some((cand_mini, cand_paper)));
     }
     Ok(None)
+}
+
+/// Emits the per-iteration `search.iter` telemetry event mirroring the
+/// trace record just pushed. `reason` explains the outcome
+/// (`accepted_best`, `accepted_elite`, `rejected_drop`, `duplicate`,
+/// `exact`/`more_aggressive` for filter verdicts, `no_mutation`);
+/// `cand_nodes`/`rescales` characterize the mutated graph (-1 when no
+/// candidate was produced).
+fn emit_iter(rec: &TraceRecord, temperature: f32, reason: &str, cand_nodes: i64, rescales: i64) {
+    gmorph_telemetry::counter!("search.iterations");
+    gmorph_telemetry::point!(
+        "search.iter",
+        iter = rec.iter,
+        status = rec.status.as_str(),
+        reason = reason,
+        from_elite = rec.from_elite,
+        drop = rec.drop,
+        met_target = rec.met_target,
+        candidate_latency_ms = rec.candidate_latency_ms,
+        best_latency_ms = rec.best_latency_ms,
+        epochs = rec.epochs,
+        virtual_hours = rec.virtual_hours,
+        temperature = temperature,
+        cand_nodes = cand_nodes,
+        rescales = rescales
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -649,6 +790,94 @@ mod tests {
             count(CandidateStatus::Evaluated) + res.early_terminated,
             res.evaluated
         );
+    }
+
+    #[test]
+    fn telemetry_events_reconstruct_search_counts() {
+        let (mini, paper, weights, mode) = setup();
+        let mut cfg = quick_cfg(40);
+        cfg.rule_filter = true;
+        cfg.finetune.target_drop = 0.0;
+        cfg.finetune.early_termination = true;
+
+        let guard = gmorph_telemetry::sink::install_test_sink();
+        let res = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        let events = guard.events();
+        drop(guard);
+
+        // Other tests in this binary run concurrently and may emit their
+        // own events while the sink is installed; keep only this thread's.
+        let here = gmorph_telemetry::span::thread_id();
+        let iters: Vec<_> = events
+            .iter()
+            .filter(|e| e.thread == here && e.name == "search.iter")
+            .collect();
+        assert_eq!(iters.len(), cfg.iterations);
+        assert_eq!(iters.len(), res.trace.len());
+
+        let by_status = |s: &str| {
+            iters
+                .iter()
+                .filter(|e| e.field("status").and_then(|v| v.as_str()) == Some(s))
+                .count()
+        };
+        assert_eq!(by_status("rule_filtered"), res.rule_filtered);
+        assert_eq!(by_status("duplicate"), res.duplicates);
+        assert_eq!(by_status("terminated_early"), res.early_terminated);
+        assert_eq!(
+            by_status("evaluated") + res.early_terminated,
+            res.evaluated
+        );
+
+        // Events mirror the trace record-for-record.
+        for (e, r) in iters.iter().zip(res.trace.iter()) {
+            assert_eq!(
+                e.field("iter").and_then(|v| v.as_f64()),
+                Some(r.iter as f64)
+            );
+            assert_eq!(
+                e.field("status").and_then(|v| v.as_str()),
+                Some(r.status.as_str())
+            );
+            let best = e.field("best_latency_ms").and_then(|v| v.as_f64()).unwrap();
+            assert_eq!(best, r.best_latency_ms);
+        }
+        // The final best latency is reconstructible from the stream.
+        let last_best = iters
+            .last()
+            .and_then(|e| e.field("best_latency_ms"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert_eq!(last_best, res.best.latency_ms);
+
+        // The run meta event carries the clock assumptions.
+        let meta = events
+            .iter()
+            .find(|e| e.thread == here && e.name == "search.run_meta")
+            .expect("run meta event");
+        assert_eq!(
+            meta.field("virtual_throughput").and_then(|v| v.as_f64()),
+            Some(gmorph_perf::clock::DEFAULT_THROUGHPUT)
+        );
+    }
+
+    #[test]
+    fn custom_throughput_scales_virtual_hours() {
+        let (mini, paper, weights, mode) = setup();
+        let mut cfg = quick_cfg(15);
+        let base = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        cfg.virtual_throughput = gmorph_perf::clock::DEFAULT_THROUGHPUT * 2.0;
+        let fast = run_search(&mini, &paper, &weights, &mode, &cfg).unwrap();
+        // Same seed, same decisions — only the clock rate differs, so the
+        // virtual total shrinks (overhead charges are rate-independent,
+        // so it is not exactly half).
+        assert!(
+            fast.virtual_hours < base.virtual_hours,
+            "{} !< {}",
+            fast.virtual_hours,
+            base.virtual_hours
+        );
+        assert_eq!(fast.evaluated, base.evaluated);
     }
 
     #[test]

@@ -10,17 +10,21 @@
 //! - [`driver`]: Algorithm 1 — the graph mutation optimization loop with
 //!   predictive filtering and dual-scale (mini + paper) graph tracking,
 //! - [`parallel`]: batch candidate evaluation on worker threads (§7's
-//!   "sampling multiple models in parallel" extension).
+//!   "sampling multiple models in parallel" extension),
+//! - [`persist`]: JSONL persistence of search traces (the Figure 8 run
+//!   artifacts).
 
 pub mod batched;
 pub mod driver;
 pub mod evaluator;
 pub mod history;
 pub mod parallel;
+pub mod persist;
 pub mod policy;
 
 pub use batched::{run_search_batched, BatchedResult};
 pub use driver::{run_search, SearchConfig, SearchResult, TraceRecord};
+pub use persist::{load_trace, save_trace, TraceMeta};
 pub use evaluator::{EvalMode, RealContext, SurrogateContext};
 pub use history::{Elite, History};
 pub use policy::{PolicyKind, SimulatedAnnealing};

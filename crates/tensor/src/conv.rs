@@ -173,6 +173,7 @@ pub fn conv2d_forward(
     bias: Option<&Tensor>,
     geom: Conv2dGeom,
 ) -> Result<Conv2dForward> {
+    let start = gmorph_telemetry::enabled().then(std::time::Instant::now);
     if input.shape().rank() != 4 {
         return Err(TensorError::RankMismatch {
             op: "conv2d_forward input",
@@ -249,6 +250,20 @@ pub fn conv2d_forward(
         let (y, col_t) = sample?;
         out.data_mut()[s * out_len..(s + 1) * out_len].copy_from_slice(&y);
         cols.push(col_t);
+    }
+    if let Some(start) = start {
+        let bucket = |d: usize| d.max(1).next_power_of_two();
+        gmorph_telemetry::counter!("conv.calls");
+        gmorph_telemetry::hist!(
+            &format!(
+                "conv.us.n{}c{}k{}o{}",
+                bucket(n),
+                bucket(c_out),
+                geom.kernel,
+                bucket(oh * ow)
+            ),
+            start.elapsed().as_micros() as f64
+        );
     }
     Ok(Conv2dForward {
         output: out,

@@ -215,12 +215,19 @@ impl WorkerPool {
     pub fn parallel_for(&self, count: usize, f: impl Fn(usize) + Sync) {
         let threads = current_threads();
         let inline = IN_POOL_CONTEXT.with(|c| c.get());
+        // One relaxed load; all telemetry below is skipped when disabled.
+        let telemetry = gmorph_telemetry::enabled();
         if count < 2 || threads < 2 || inline {
+            if telemetry {
+                gmorph_telemetry::counter!("engine.dispatch.inline");
+                gmorph_telemetry::hist!("engine.chunks.inline", count as f64);
+            }
             for i in 0..count {
                 f(i);
             }
             return;
         }
+        let dispatch_start = telemetry.then(std::time::Instant::now);
         self.ensure_workers(threads - 1);
 
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
@@ -239,11 +246,17 @@ impl WorkerPool {
             panic: Mutex::new(None),
         });
 
-        {
+        let queue_depth = {
             let mut queue = self.shared.queue.lock().unwrap();
             queue.push_back(Arc::clone(&job));
-        }
+            queue.len()
+        };
         self.shared.work_available.notify_all();
+        if telemetry {
+            gmorph_telemetry::counter!("engine.dispatch.pooled");
+            gmorph_telemetry::hist!("engine.chunks.pooled", count as f64);
+            gmorph_telemetry::hist!("engine.queue_depth", queue_depth as f64);
+        }
 
         // Participate, then wait for chunks claimed by workers.
         job.run_chunks();
@@ -257,6 +270,10 @@ impl WorkerPool {
         {
             let mut queue = self.shared.queue.lock().unwrap();
             queue.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+
+        if let Some(start) = dispatch_start {
+            gmorph_telemetry::hist!("engine.dispatch_us", start.elapsed().as_micros() as f64);
         }
 
         let payload = job.panic.lock().unwrap().take();

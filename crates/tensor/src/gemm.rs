@@ -245,6 +245,20 @@ fn gemm_blocked(
     }
 }
 
+/// Records one GEMM call into the aggregated metrics, keyed by a
+/// power-of-two shape bucket so the histogram set stays bounded. Callers
+/// pass the `Instant` captured only when telemetry was enabled at entry.
+fn record_gemm(m: usize, k: usize, n: usize, start: Option<std::time::Instant>) {
+    if let Some(start) = start {
+        let bucket = |d: usize| d.max(1).next_power_of_two();
+        gmorph_telemetry::counter!("gemm.calls");
+        gmorph_telemetry::hist!(
+            &format!("gemm.us.{}x{}x{}", bucket(m), bucket(k), bucket(n)),
+            start.elapsed().as_micros() as f64
+        );
+    }
+}
+
 /// Computes `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
 /// # Examples
@@ -258,6 +272,7 @@ fn gemm_blocked(
 /// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let start = gmorph_telemetry::enabled().then(std::time::Instant::now);
     let (m, k) = check_rank2(a, "matmul lhs")?;
     let (kb, n) = check_rank2(b, "matmul rhs")?;
     if k != kb {
@@ -273,11 +288,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     } else {
         gemm_blocked(a.data(), Layout::Normal, b.data(), Layout::Normal, m, k, n, &mut out);
     }
+    record_gemm(m, k, n, start);
     Tensor::from_vec(&[m, n], out)
 }
 
 /// Computes `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let start = gmorph_telemetry::enabled().then(std::time::Instant::now);
     let (m, k) = check_rank2(a, "matmul_nt lhs")?;
     let (n, kb) = check_rank2(b, "matmul_nt rhs")?;
     if k != kb {
@@ -302,11 +319,13 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             &mut out,
         );
     }
+    record_gemm(m, k, n, start);
     Tensor::from_vec(&[m, n], out)
 }
 
 /// Computes `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let start = gmorph_telemetry::enabled().then(std::time::Instant::now);
     let (k, m) = check_rank2(a, "matmul_tn lhs")?;
     let (kb, n) = check_rank2(b, "matmul_tn rhs")?;
     if k != kb {
@@ -331,6 +350,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             &mut out,
         );
     }
+    record_gemm(m, k, n, start);
     Tensor::from_vec(&[m, n], out)
 }
 
