@@ -1,0 +1,104 @@
+//! Allocation micro-benchmarks: the tensor buffer pool and fused kernel
+//! epilogues on the inference and fine-tuning hot paths. The `alloc` group
+//! pins the pool's effect on single ops; `finetune-epoch` measures the
+//! steady-state train loop the pool was built for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmorph::nn::{Block, Mode};
+use gmorph::tensor::conv::{conv2d_forward, Conv2dGeom};
+use gmorph::tensor::ops::{relu_forward, Activation};
+use gmorph::tensor::rng::Rng;
+use gmorph::tensor::{buffer, gemm, Tensor};
+use std::hint::black_box;
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut rng = Rng::new(0);
+    let x = Tensor::randn(&[4, 32, 32, 32], 1.0, &mut rng);
+    let w = Tensor::randn(&[32, 32, 3, 3], 0.5, &mut rng);
+    let b = Tensor::randn(&[32], 0.1, &mut rng);
+    let geom = Conv2dGeom::new(3, 1, 1).unwrap();
+
+    let mut g = c.benchmark_group("alloc");
+    g.bench_function("conv-forward/pool-off", |bench| {
+        buffer::set_enabled(Some(false));
+        buffer::clear();
+        bench.iter(|| {
+            black_box(conv2d_forward(black_box(&x), black_box(&w), Some(&b), geom).unwrap())
+        });
+        buffer::set_enabled(None);
+    });
+    g.bench_function("conv-forward/pool-on", |bench| {
+        buffer::set_enabled(Some(true));
+        buffer::clear();
+        bench.iter(|| {
+            black_box(conv2d_forward(black_box(&x), black_box(&w), Some(&b), geom).unwrap())
+        });
+        buffer::set_enabled(None);
+        buffer::clear();
+    });
+
+    // Thin-k linear: memory-bound, so folding bias+ReLU into the output
+    // write is visible (compute-bound shapes hide it).
+    let la = Tensor::randn(&[512, 16], 1.0, &mut rng);
+    let lw = Tensor::randn(&[512, 16], 0.5, &mut rng);
+    let lb = Tensor::randn(&[512], 0.1, &mut rng);
+    g.bench_function("linear-relu/unfused", |bench| {
+        bench.iter(|| {
+            let mut y = gemm::matmul_nt(black_box(&la), black_box(&lw)).unwrap();
+            gemm::add_bias_rows(&mut y, &lb).unwrap();
+            black_box(relu_forward(&y))
+        });
+    });
+    g.bench_function("linear-relu/fused", |bench| {
+        bench.iter(|| {
+            black_box(
+                gemm::matmul_nt_bias_act(
+                    black_box(&la),
+                    black_box(&lw),
+                    Some(&lb),
+                    Activation::Relu,
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_finetune_epoch(c: &mut Criterion) {
+    // A miniature epoch: several train forward+backward steps of a small
+    // conv stack, the loop that dominates real-mode search time.
+    let mut rng = Rng::new(1);
+    let mut b1 = Block::conv_relu(16, 32, &mut rng).unwrap();
+    let mut b2 = Block::conv_relu(32, 32, &mut rng).unwrap();
+    let x = Tensor::randn(&[4, 16, 24, 24], 1.0, &mut rng);
+    let step = |b1: &mut Block, b2: &mut Block| {
+        let h = b1.forward(&x, Mode::Train).unwrap();
+        let y = b2.forward(&h, Mode::Train).unwrap();
+        let g = b2.backward(&Tensor::ones(y.dims())).unwrap();
+        black_box(b1.backward(&g).unwrap());
+    };
+
+    let mut g = c.benchmark_group("finetune-epoch");
+    g.bench_function("pool-off", |bench| {
+        buffer::set_enabled(Some(false));
+        buffer::clear();
+        bench.iter(|| step(&mut b1, &mut b2));
+        buffer::set_enabled(None);
+    });
+    g.bench_function("pool-on", |bench| {
+        buffer::set_enabled(Some(true));
+        buffer::clear();
+        bench.iter(|| step(&mut b1, &mut b2));
+        buffer::set_enabled(None);
+        buffer::clear();
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_alloc, bench_finetune_epoch
+}
+criterion_main!(benches);

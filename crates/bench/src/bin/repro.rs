@@ -5,11 +5,15 @@
 //!
 //! experiments:
 //!   fig1 fig2 fig3 fig7 fig8 fig9 table3 table4 table5 table6 ablations batched
-//!   kernels all
+//!   kernels alloc all
 //!
 //! `kernels` times the blocked/threaded GEMM and conv kernels against the
 //! naive single-threaded loops and writes `BENCH_kernels.json`
 //! (`{op, shape, threads, ns_per_iter}` records) to the output directory.
+//!
+//! `alloc` times the hot paths with the tensor buffer pool off vs on and
+//! with activations fused into kernel epilogues vs separate passes, and
+//! writes `BENCH_alloc.json` (records plus before/after speedups).
 //!
 //! options:
 //!   --seed <u64>          experiment seed        (default 1)
@@ -80,6 +84,7 @@ fn run_one(name: &str, opts: &ExperimentOpts) -> Result<(), String> {
         "ablations" => experiments::ablations::run(opts),
         "batched" => experiments::batched::run(opts),
         "kernels" => experiments::kernels::run(opts),
+        "alloc" => experiments::alloc::run(opts),
         other => return Err(format!("unknown experiment {other}")),
     };
     result.map_err(|e| format!("{name} failed: {e}"))?;
@@ -92,13 +97,13 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <fig1|fig2|fig3|fig7|fig8|fig9|table3|table4|table5|table6|ablations|batched|kernels|all> [--seed N] [--iters N] [--mode real|surrogate] [--out dir] [--quick]");
+            eprintln!("usage: repro <fig1|fig2|fig3|fig7|fig8|fig9|table3|table4|table5|table6|ablations|batched|kernels|alloc|all> [--seed N] [--iters N] [--mode real|surrogate] [--out dir] [--quick]");
             return ExitCode::FAILURE;
         }
     };
     let all = [
-        "kernels", "table6", "fig1", "fig2", "fig3", "fig7", "fig8", "table3", "table4",
-        "fig9", "ablations", "batched",
+        "kernels", "alloc", "table6", "fig1", "fig2", "fig3", "fig7", "fig8", "table3",
+        "table4", "fig9", "ablations", "batched",
     ];
     let to_run: Vec<String> = if exps.iter().any(|e| e == "all") {
         all.iter().map(|s| s.to_string()).collect()

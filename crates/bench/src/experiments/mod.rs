@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod alloc;
 pub mod batched;
 pub mod fig1;
 pub mod fig2;

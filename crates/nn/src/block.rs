@@ -325,8 +325,7 @@ impl Block {
     /// Number of trainable scalars (the paper's *capacity*).
     pub fn capacity(&self) -> usize {
         let mut n = 0usize;
-        let mut clone = self.clone();
-        clone.visit_params(&mut |p: &mut Parameter| n += p.numel());
+        self.visit_params_ref(&mut |p: &Parameter| n += p.numel());
         n
     }
 
@@ -494,6 +493,11 @@ impl Block {
         match self {
             Block::ConvRelu { conv, cache_pre } => {
                 let pre = conv.forward(x, mode)?;
+                if mode == Mode::Eval && conv.fused_act != ops::Activation::None {
+                    // The compile pass moved the activation into the conv
+                    // epilogue; the conv output already is the block output.
+                    return Ok(pre);
+                }
                 let y = ops::relu_forward(&pre);
                 if mode == Mode::Train {
                     *cache_pre = Some(pre);
@@ -505,6 +509,11 @@ impl Block {
                 bn,
                 cache_pre,
             } => {
+                if mode == Mode::Eval && bn.fused && conv.fused_act != ops::Activation::None {
+                    // BN was folded into the conv (identity in eval) and the
+                    // ReLU fused into the conv epilogue.
+                    return conv.forward(x, mode);
+                }
                 let c = conv.forward(x, mode)?;
                 let pre = bn.forward(&c, mode)?;
                 let y = ops::relu_forward(&pre);
@@ -525,11 +534,11 @@ impl Block {
                 let pre1 = bn1.forward(&conv1.forward(x, mode)?, mode)?;
                 let h = ops::relu_forward(&pre1);
                 let main = bn2.forward(&conv2.forward(&h, mode)?, mode)?;
-                let skip = match down {
-                    Some((dc, dbn)) => dbn.forward(&dc.forward(x, mode)?, mode)?,
-                    None => x.clone(),
+                // Identity skips add straight from the input — no clone.
+                let pre2 = match down {
+                    Some((dc, dbn)) => main.add(&dbn.forward(&dc.forward(x, mode)?, mode)?)?,
+                    None => main.add(x)?,
                 };
-                let pre2 = main.add(&skip)?;
                 let y = ops::relu_forward(&pre2);
                 if mode == Mode::Train {
                     *cache_pre1 = Some(pre1);
@@ -538,8 +547,10 @@ impl Block {
                 Ok(y)
             }
             Block::MaxPool { k, cache } => {
-                let fwd = maxpool2d_forward(x, *k)?;
-                let y = fwd.output.clone();
+                let mut fwd = maxpool2d_forward(x, *k)?;
+                // Backward routes through the argmax indices only, so the
+                // output can be moved out instead of cloned.
+                let y = std::mem::replace(&mut fwd.output, Tensor::zeros(&[0]));
                 if mode == Mode::Train {
                     *cache = Some((fwd, x.dims().to_vec()));
                 }
@@ -560,7 +571,12 @@ impl Block {
                 let r1 = x2.add(&a.reshape(&[n * t, d])?)?;
                 let h2 = ln2.forward(&r1, mode)?;
                 let mlp_pre = fc1.forward(&h2, mode)?;
-                let m = fc2.forward(&ops::gelu_forward(&mlp_pre), mode)?;
+                let m = if mode == Mode::Eval && fc1.fused_act != ops::Activation::None {
+                    // GELU already applied in the fc1 GEMM epilogue.
+                    fc2.forward(&mlp_pre, mode)?
+                } else {
+                    fc2.forward(&ops::gelu_forward(&mlp_pre), mode)?
+                };
                 let y2 = r1.add(&m)?;
                 if mode == Mode::Train {
                     *cache = Some(TransformerCache { n, t, mlp_pre });
@@ -721,9 +737,11 @@ impl Block {
                 let gm = fc2.backward(&g2)?;
                 let gm = ops::gelu_backward(&gm, &c.mlp_pre)?;
                 let gh2 = fc1.backward(&gm)?;
-                // r1 receives the residual path and the LN2 path.
-                let mut gr1 = g2.clone();
-                gr1.add_assign(&ln2.backward(&gh2)?)?;
+                // r1 receives the residual path and the LN2 path. f32
+                // addition commutes, so accumulating into the LN2 gradient
+                // (instead of into a clone of g2) is bit-identical.
+                let mut gr1 = ln2.backward(&gh2)?;
+                gr1.add_assign(&g2)?;
                 // Through attention.
                 let ga = attn.backward(&gr1.reshape(&[n, t, d])?)?;
                 let gh1 = ga.reshape(&[n * t, d])?;
@@ -765,10 +783,14 @@ impl Block {
                 match target.len() {
                     3 => {
                         let g = match proj {
-                            Some(RescaleProj::Conv(c)) => c.backward(grad_y)?,
-                            _ => grad_y.clone(),
+                            Some(RescaleProj::Conv(c)) => Some(c.backward(grad_y)?),
+                            _ => None,
                         };
-                        resize2d_backward(&g, in_dims, InterpMode::Bilinear)
+                        resize2d_backward(
+                            g.as_ref().unwrap_or(grad_y),
+                            in_dims,
+                            InterpMode::Bilinear,
+                        )
                     }
                     2 => {
                         let n = in_dims[0];
@@ -845,6 +867,64 @@ impl Block {
         }
     }
 
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// Lets introspection ([`capacity`], [`state`]) walk the parameters
+    /// without cloning the whole block first.
+    ///
+    /// [`visit_params`]: Block::visit_params
+    /// [`capacity`]: Block::capacity
+    /// [`state`]: Block::state
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        match self {
+            Block::ConvRelu { conv, .. } => conv.visit_params_ref(f),
+            Block::ConvBnRelu { conv, bn, .. } => {
+                conv.visit_params_ref(f);
+                bn.visit_params_ref(f);
+            }
+            Block::Residual {
+                conv1,
+                bn1,
+                conv2,
+                bn2,
+                down,
+                ..
+            } => {
+                conv1.visit_params_ref(f);
+                bn1.visit_params_ref(f);
+                conv2.visit_params_ref(f);
+                bn2.visit_params_ref(f);
+                if let Some((dc, dbn)) = down {
+                    dc.visit_params_ref(f);
+                    dbn.visit_params_ref(f);
+                }
+            }
+            Block::MaxPool { .. } => {}
+            Block::Transformer {
+                ln1,
+                attn,
+                ln2,
+                fc1,
+                fc2,
+                ..
+            } => {
+                ln1.visit_params_ref(f);
+                attn.visit_params_ref(f);
+                ln2.visit_params_ref(f);
+                fc1.visit_params_ref(f);
+                fc2.visit_params_ref(f);
+            }
+            Block::PatchEmbedB(pe) => pe.visit_params_ref(f),
+            Block::TokenEmbedB(te) => te.visit_params_ref(f),
+            Block::Head { linear, .. } => linear.visit_params_ref(f),
+            Block::Rescale { proj, .. } => match proj {
+                Some(RescaleProj::Conv(c)) => c.visit_params_ref(f),
+                Some(RescaleProj::Linear(l)) => l.visit_params_ref(f),
+                None => {}
+            },
+        }
+    }
+
     /// Visits every persistent tensor: parameter values plus non-trainable
     /// buffers (batch-norm running statistics). Used for serialization.
     pub fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
@@ -870,11 +950,36 @@ impl Block {
         }
     }
 
+    /// Read-only state visit, in the same order as [`visit_state`].
+    ///
+    /// [`visit_state`]: Block::visit_state
+    pub fn visit_state_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        // Parameters first, in visit order.
+        self.visit_params_ref(&mut |p: &Parameter| f(&p.value));
+        // Then buffers.
+        match self {
+            Block::ConvBnRelu { bn, .. } => {
+                f(&bn.running_mean);
+                f(&bn.running_var);
+            }
+            Block::Residual { bn1, bn2, down, .. } => {
+                f(&bn1.running_mean);
+                f(&bn1.running_var);
+                f(&bn2.running_mean);
+                f(&bn2.running_var);
+                if let Some((_, dbn)) = down {
+                    f(&dbn.running_mean);
+                    f(&dbn.running_var);
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Extracts the persistent state as an ordered list of tensors.
     pub fn state(&self) -> Vec<Tensor> {
-        let mut clone = self.clone();
         let mut out = Vec::new();
-        clone.visit_state(&mut |t: &mut Tensor| out.push(t.clone()));
+        self.visit_state_ref(&mut |t: &Tensor| out.push(t.clone()));
         out
     }
 

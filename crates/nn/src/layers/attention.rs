@@ -195,6 +195,16 @@ impl MultiHeadAttention {
         self.wo.visit_params(f);
     }
 
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// [`visit_params`]: MultiHeadAttention::visit_params
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        self.wq.visit_params_ref(f);
+        self.wk.visit_params_ref(f);
+        self.wv.visit_params_ref(f);
+        self.wo.visit_params_ref(f);
+    }
+
     /// Number of trainable scalars.
     pub fn param_count(&self) -> usize {
         self.wq.param_count()

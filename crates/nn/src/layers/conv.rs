@@ -4,7 +4,9 @@ use super::missing_cache;
 use crate::init;
 use crate::param::Parameter;
 use crate::Mode;
-use gmorph_tensor::conv::{conv2d_backward_geom, conv2d_forward, Conv2dForward, Conv2dGeom};
+use gmorph_tensor::buffer;
+use gmorph_tensor::conv::{conv2d_backward_geom, conv2d_forward_act, Conv2dForward, Conv2dGeom};
+use gmorph_tensor::ops::Activation;
 use gmorph_tensor::rng::Rng;
 use gmorph_tensor::{Result, Tensor, TensorError};
 
@@ -17,6 +19,12 @@ pub struct Conv2d {
     pub bias: Parameter,
     /// Kernel/stride/padding geometry.
     pub geom: Conv2dGeom,
+    /// Activation fused into the conv epilogue during *eval* forwards.
+    ///
+    /// Set by the inference compile pass; no effect in `Mode::Train`,
+    /// where the block-level activation (and its pre-activation cache)
+    /// runs separately for backward.
+    pub fused_act: Activation,
     cache: Option<(Conv2dForward, Vec<usize>)>,
 }
 
@@ -40,6 +48,7 @@ impl Conv2d {
             )),
             bias: Parameter::new(Tensor::zeros(&[out_channels])),
             geom,
+            fused_act: Activation::None,
             cache: None,
         })
     }
@@ -56,10 +65,25 @@ impl Conv2d {
 
     /// Forward pass over `[N, C_in, H, W]`.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let fwd = conv2d_forward(x, &self.weight.value, Some(&self.bias.value), self.geom)?;
-        let out = fwd.output.clone();
+        let act = if mode == Mode::Eval {
+            self.fused_act
+        } else {
+            Activation::None
+        };
+        let mut fwd =
+            conv2d_forward_act(x, &self.weight.value, Some(&self.bias.value), self.geom, act)?;
+        // Backward only needs the cached im2col columns, not the output:
+        // move the output out instead of cloning it.
+        let out = std::mem::replace(&mut fwd.output, Tensor::zeros(&[0]));
         if mode == Mode::Train {
+            // Recycle last iteration's columns; the next forward's scratch
+            // checkout finds them, so steady-state epochs stop allocating.
+            self.clear_cache();
             self.cache = Some((fwd, x.dims().to_vec()));
+        } else {
+            for c in fwd.cols {
+                buffer::recycle(c);
+            }
         }
         Ok(out)
     }
@@ -106,14 +130,26 @@ impl Conv2d {
         f(&mut self.bias);
     }
 
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// [`visit_params`]: Conv2d::visit_params
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
     /// Number of trainable scalars.
     pub fn param_count(&self) -> usize {
         self.weight.numel() + self.bias.numel()
     }
 
-    /// Drops cached activations.
+    /// Drops cached activations, recycling the im2col columns.
     pub fn clear_cache(&mut self) {
-        self.cache = None;
+        if let Some((old, _)) = self.cache.take() {
+            for c in old.cols {
+                buffer::recycle(c);
+            }
+        }
     }
 }
 

@@ -129,6 +129,14 @@ impl TokenEmbed {
         f(&mut self.pos);
     }
 
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// [`visit_params`]: TokenEmbed::visit_params
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.table);
+        f(&self.pos);
+    }
+
     /// Number of trainable scalars.
     pub fn param_count(&self) -> usize {
         self.table.numel() + self.pos.numel()
@@ -250,6 +258,14 @@ impl PatchEmbed {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
         self.proj.visit_params(f);
         f(&mut self.pos);
+    }
+
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// [`visit_params`]: PatchEmbed::visit_params
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        self.proj.visit_params_ref(f);
+        f(&self.pos);
     }
 
     /// Number of trainable scalars.

@@ -4,6 +4,7 @@ use super::missing_cache;
 use crate::init;
 use crate::param::Parameter;
 use crate::Mode;
+use gmorph_tensor::ops::Activation;
 use gmorph_tensor::rng::Rng;
 use gmorph_tensor::{gemm, Result, Tensor, TensorError};
 
@@ -29,6 +30,13 @@ pub struct Linear {
     pub weight: Parameter,
     /// Bias vector `[out]`.
     pub bias: Parameter,
+    /// Activation fused into the GEMM epilogue during *eval* forwards.
+    ///
+    /// Set by the inference compile pass ([`gmorph_perf`]'s epilogue
+    /// fusion); has no effect in `Mode::Train`, where the separate
+    /// activation pass (and its pre-activation cache) is required for
+    /// backward.
+    pub fused_act: Activation,
     cache_x: Option<Tensor>,
 }
 
@@ -43,6 +51,7 @@ impl Linear {
                 rng,
             )),
             bias: Parameter::new(Tensor::zeros(&[out_features])),
+            fused_act: Activation::None,
             cache_x: None,
         }
     }
@@ -66,8 +75,15 @@ impl Linear {
                 rhs: x.shape().to_string(),
             });
         }
-        let mut y = gemm::matmul_nt(x, &self.weight.value)?;
-        gemm::add_bias_rows(&mut y, &self.bias.value)?;
+        // The bias-add always runs in the GEMM write loop; the fused
+        // activation additionally applies during eval forwards when the
+        // compile pass requested it.
+        let act = if mode == Mode::Eval {
+            self.fused_act
+        } else {
+            Activation::None
+        };
+        let y = gemm::matmul_nt_bias_act(x, &self.weight.value, Some(&self.bias.value), act)?;
         if mode == Mode::Train {
             self.cache_x = Some(x.clone());
         }
@@ -98,6 +114,14 @@ impl Linear {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// [`visit_params`]: Linear::visit_params
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.weight);
+        f(&self.bias);
     }
 
     /// Number of trainable scalars.

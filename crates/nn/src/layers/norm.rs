@@ -185,6 +185,14 @@ impl BatchNorm2d {
         f(&mut self.beta);
     }
 
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// [`visit_params`]: BatchNorm2d::visit_params
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+
     /// Number of trainable scalars.
     pub fn param_count(&self) -> usize {
         self.gamma.numel() + self.beta.numel()
@@ -294,6 +302,14 @@ impl LayerNorm {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
         f(&mut self.gamma);
         f(&mut self.beta);
+    }
+
+    /// Read-only parameter visit, in the same order as [`visit_params`].
+    ///
+    /// [`visit_params`]: LayerNorm::visit_params
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.gamma);
+        f(&self.beta);
     }
 
     /// Number of trainable scalars.

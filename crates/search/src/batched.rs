@@ -143,13 +143,18 @@ pub fn run_search_batched(
                 }
                 continue;
             };
-            if !history.record_evaluated(cand_mini.signature()) {
+            // Consult the history before spending any evaluation effort
+            // (the whole batch is fine-tuned concurrently below).
+            let signature = cand_mini.signature();
+            if history.seen(&signature) {
+                gmorph_telemetry::counter!("search.dedup_hit");
                 skipped += 1;
                 if skipped > batch_size * 4 {
                     break;
                 }
                 continue;
             }
+            history.record_evaluated(signature);
             if cfg.rule_filter {
                 let cv = CapacityVector::of(&cand_mini)?;
                 if rule_filter.should_skip(&cv) {

@@ -331,14 +331,11 @@ pub fn run_search(
             .iter()
             .filter(|(_, n)| matches!(n.spec, gmorph_nn::BlockSpec::Rescale { .. }))
             .count() as i64;
-        let cand_latency = estimate_latency_ms(&cand_paper, Backend::Eager)?;
-        let cand_objective = match cfg.objective {
-            Objective::Latency => cand_latency,
-            Objective::Flops => cand_paper.flops()? as f64,
-        };
-
-        // Deduplicate by structural signature.
-        if !history.record_evaluated(cand_mini.signature()) {
+        // Deduplicate by structural signature *before* any evaluation
+        // work: a previously seen candidate skips even the latency
+        // estimate, not just the fine-tuning.
+        let signature = cand_mini.signature();
+        if history.seen(&signature) {
             duplicates += 1;
             clock.charge_overhead(1.0);
             trace.push(record(
@@ -347,13 +344,14 @@ pub fn run_search(
                 elite_pick.is_some(),
                 f32::NAN,
                 false,
-                cand_latency,
+                f64::NAN,
                 &best,
                 0,
                 &clock,
                 wall_start,
             ));
             gmorph_telemetry::counter!("search.duplicates");
+            gmorph_telemetry::counter!("search.dedup_hit");
             emit_iter(
                 trace.last().unwrap(),
                 temperature,
@@ -363,6 +361,13 @@ pub fn run_search(
             );
             continue;
         }
+        history.record_evaluated(signature);
+
+        let cand_latency = estimate_latency_ms(&cand_paper, Backend::Eager)?;
+        let cand_objective = match cfg.objective {
+            Objective::Latency => cand_latency,
+            Objective::Flops => cand_paper.flops()? as f64,
+        };
 
         // Rule-based filtering (§5.1) before any fine-tuning.
         let capacity = CapacityVector::of(&cand_mini)?;

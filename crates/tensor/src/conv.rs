@@ -10,8 +10,10 @@
 //! ascending sample order, keeping results bit-identical across thread
 //! counts.
 
+use crate::buffer;
 use crate::engine;
 use crate::gemm;
+use crate::ops::Activation;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
 
@@ -61,6 +63,9 @@ impl Conv2dGeom {
 }
 
 /// Lowers one `[C, H, W]` image into a `[C*K*K, OH*OW]` column matrix.
+///
+/// `col` must be zero-filled: padding positions are skipped, not written.
+#[allow(clippy::too_many_arguments)]
 fn im2col_single(
     data: &[f32],
     c: usize,
@@ -69,9 +74,9 @@ fn im2col_single(
     geom: Conv2dGeom,
     oh: usize,
     ow: usize,
-) -> Vec<f32> {
+    col: &mut [f32],
+) {
     let k = geom.kernel;
-    let mut col = vec![0.0f32; c * k * k * oh * ow];
     let ncols = oh * ow;
     for ch in 0..c {
         for ky in 0..k {
@@ -94,7 +99,6 @@ fn im2col_single(
             }
         }
     }
-    col
 }
 
 /// Scatters a `[C*K*K, OH*OW]` column matrix back into a `[C, H, W]` image,
@@ -173,6 +177,22 @@ pub fn conv2d_forward(
     bias: Option<&Tensor>,
     geom: Conv2dGeom,
 ) -> Result<Conv2dForward> {
+    conv2d_forward_act(input, weight, bias, geom, Activation::None)
+}
+
+/// [`conv2d_forward`] with a fused epilogue: the activation is applied to
+/// `v + bias` inside the per-channel output write loop instead of as a
+/// separate elementwise pass over the output tensor.
+///
+/// Bit-identical to `conv2d_forward` followed by the corresponding
+/// elementwise activation (the scalar sequence is the same).
+pub fn conv2d_forward_act(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geom: Conv2dGeom,
+    act: Activation,
+) -> Result<Conv2dForward> {
     let start = gmorph_telemetry::enabled().then(std::time::Instant::now);
     if input.shape().rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -220,7 +240,9 @@ pub fn conv2d_forward(
     }
     let wmat = weight.reshape(&[c_out, c_in * k * k])?;
 
-    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    if act != Activation::None {
+        gmorph_telemetry::counter!("kernel.fused_dispatch");
+    }
     let img_len = c_in * h * w;
     let out_len = c_out * oh * ow;
 
@@ -229,26 +251,43 @@ pub fn conv2d_forward(
     // decomposition — and therefore the result — is thread-count-invariant.
     let per_sample = engine::parallel_map(n, |s| -> Result<(Vec<f32>, Tensor)> {
         let img = &input.data()[s * img_len..(s + 1) * img_len];
-        let col = im2col_single(img, c_in, h, w, geom, oh, ow);
+        // im2col skips padding positions, so the scratch must be zeroed.
+        let mut col = buffer::take(c_in * k * k * oh * ow);
+        im2col_single(img, c_in, h, w, geom, oh, ow, &mut col);
         let col_t = Tensor::from_vec(&[c_in * k * k, oh * ow], col)?;
         let mut y = gemm::matmul(&wmat, &col_t)?; // [c_out, oh*ow]
-        if let Some(b) = bias {
+        // Fused epilogue: bias-add and activation while writing each
+        // channel row, instead of separate passes over the output.
+        if bias.is_some() || act != Activation::None {
             let ncols = oh * ow;
             let yd = y.data_mut();
-            for co in 0..c_out {
-                let bv = b.data()[co];
-                for v in &mut yd[co * ncols..(co + 1) * ncols] {
-                    *v += bv;
+            // Dispatch on the activation once, outside the element loop,
+            // so each arm is a tight monomorphic pass.
+            fn pass(yd: &mut [f32], ncols: usize, bias: Option<&Tensor>, f: impl Fn(f32) -> f32) {
+                for (co, row) in yd.chunks_mut(ncols).enumerate() {
+                    let bv = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+                    for v in row {
+                        *v = f(*v + bv);
+                    }
                 }
+            }
+            match act {
+                Activation::None => pass(yd, ncols, bias, |v| v),
+                Activation::Relu => pass(yd, ncols, bias, |v| Activation::Relu.apply(v)),
+                Activation::Gelu => pass(yd, ncols, bias, |v| Activation::Gelu.apply(v)),
             }
         }
         Ok((y.into_data(), col_t))
     });
 
+    // The output is fully written sample by sample below, so its storage
+    // can come from the pool without clearing.
+    let mut out = Tensor::from_vec(&[n, c_out, oh, ow], buffer::take_uninit(n * out_len))?;
     let mut cols = Vec::with_capacity(n);
     for (s, sample) in per_sample.into_iter().enumerate() {
         let (y, col_t) = sample?;
         out.data_mut()[s * out_len..(s + 1) * out_len].copy_from_slice(&y);
+        buffer::give(y);
         cols.push(col_t);
     }
     if let Some(start) = start {
@@ -315,20 +354,22 @@ pub fn conv2d_backward_geom(
 
     let mut grad_weight = Tensor::zeros(&[c_out, c_in * k * k]);
     let mut grad_bias = Tensor::zeros(&[c_out]);
-    let mut grad_input = Tensor::zeros(&[n, c_in, h, w]);
 
     let go_len = c_out * oh * ow;
     let gi_len = c_in * h * w;
+    // grad_input is fully written sample by sample; pooled uncleared
+    // storage is fine.
+    let mut grad_input =
+        Tensor::from_vec(&[n, c_in, h, w], buffer::take_uninit(n * gi_len))?;
 
     // Per-sample gradients are independent; compute them across the pool
     // and reduce serially afterwards in ascending sample order, so the
     // floating-point accumulation into dW / db has a fixed order no matter
     // how many threads ran the map.
     let per_sample = engine::parallel_map(n, |s| -> Result<(Tensor, Vec<f32>, Vec<f32>)> {
-        let go = Tensor::from_vec(
-            &[c_out, oh * ow],
-            grad_output.data()[s * go_len..(s + 1) * go_len].to_vec(),
-        )?;
+        let mut god = buffer::take_uninit(go_len);
+        god.copy_from_slice(&grad_output.data()[s * go_len..(s + 1) * go_len]);
+        let go = Tensor::from_vec(&[c_out, oh * ow], god)?;
         // dW contribution: dY · colᵀ.
         let gw = gemm::matmul_nt(&go, &forward.cols[s])?;
         // db contribution: row sums of dY.
@@ -338,18 +379,23 @@ pub fn conv2d_backward_geom(
         }
         // dX slice: dCol = Wᵀ · dY, scattered back through col2im.
         let gcol = gemm::matmul_tn(&wmat, &go)?;
-        let mut gi = vec![0.0f32; gi_len];
+        // col2im accumulates into the slice, so it must start zeroed.
+        let mut gi = buffer::take(gi_len);
         col2im_single(gcol.data(), c_in, h, w, geom, oh, ow, &mut gi);
+        buffer::recycle(gcol);
+        buffer::recycle(go);
         Ok((gw, gb, gi))
     });
 
     for (s, sample) in per_sample.into_iter().enumerate() {
         let (gw, gb, gi) = sample?;
         grad_weight.add_assign(&gw)?;
+        buffer::recycle(gw);
         for (acc, v) in grad_bias.data_mut().iter_mut().zip(gb.iter()) {
             *acc += v;
         }
         grad_input.data_mut()[s * gi_len..(s + 1) * gi_len].copy_from_slice(&gi);
+        buffer::give(gi);
     }
     Ok(Conv2dGrads {
         grad_input,

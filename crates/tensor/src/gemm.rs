@@ -25,7 +25,9 @@
 //! The seed project's single-threaded loop-order kernels survive in
 //! [`naive`] as a benchmark baseline and test reference.
 
+use crate::buffer;
 use crate::engine;
+use crate::ops::Activation;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
 
@@ -53,6 +55,56 @@ enum Layout {
     Normal,
     /// Stored as the transpose of the logical matrix.
     Transposed,
+}
+
+/// Fused epilogue: optional `[n]` bias plus activation, applied while the
+/// output rows are still cache-hot instead of as separate passes.
+///
+/// The scalar sequence is `act(v + bias[j])` — exactly what
+/// [`add_bias_rows`] followed by an elementwise activation computes — so
+/// fused and unfused results are bit-identical.
+#[derive(Clone, Copy, Default)]
+struct Epilogue<'a> {
+    bias: Option<&'a [f32]>,
+    act: Activation,
+}
+
+impl Epilogue<'_> {
+    fn is_noop(&self) -> bool {
+        self.bias.is_none() && self.act == Activation::None
+    }
+
+    /// Applies the epilogue to a chunk of whole output rows (`[rows, n]`).
+    fn apply(&self, rows: &mut [f32], n: usize) {
+        if self.is_noop() {
+            return;
+        }
+        // Dispatch on the activation once, outside the element loop, so
+        // each arm compiles to a tight monomorphic pass — same scalar
+        // sequence as the separate bias/activation passes, still
+        // bit-identical.
+        fn pass(rows: &mut [f32], n: usize, bias: Option<&[f32]>, f: impl Fn(f32) -> f32) {
+            for row in rows.chunks_mut(n) {
+                match bias {
+                    Some(b) => {
+                        for (v, &bv) in row.iter_mut().zip(b.iter()) {
+                            *v = f(*v + bv);
+                        }
+                    }
+                    None => {
+                        for v in row.iter_mut() {
+                            *v = f(*v);
+                        }
+                    }
+                }
+            }
+        }
+        match self.act {
+            Activation::None => pass(rows, n, self.bias, |v| v),
+            Activation::Relu => pass(rows, n, self.bias, |v| Activation::Relu.apply(v)),
+            Activation::Gelu => pass(rows, n, self.bias, |v| Activation::Gelu.apply(v)),
+        }
+    }
 }
 
 fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
@@ -180,14 +232,18 @@ fn gemm_blocked(
     m: usize,
     k: usize,
     n: usize,
+    epi: Epilogue<'_>,
     out: &mut [f32],
 ) {
     let n_strips = n.div_ceil(NR);
     let k_blocks = k.div_ceil(KC);
+    // Packing buffers are fully overwritten by pack_a/pack_b before any
+    // read, so recycled contents are fine.
+    let apack_len = MC * KC.min(k);
 
     // Pack B once: block-major, then strip-major. Block b covers depths
     // b*KC .. b*KC+kb and occupies n_strips * kb * NR floats.
-    let mut bp = vec![0.0f32; k_blocks * n_strips * KC * NR];
+    let mut bp = buffer::take_uninit(k_blocks * n_strips * KC * NR);
     let mut block_off = vec![0usize; k_blocks + 1];
     {
         let mut off = 0usize;
@@ -230,19 +286,25 @@ fn gemm_blocked(
                 }
             }
         }
+        // Epilogue while the panel rows are still cache-hot: every output
+        // element has its final accumulated value at this point.
+        epi.apply(crows, n);
     };
 
     if m * k * n >= PAR_MIN {
         engine::parallel_chunks_mut(out, MC * n, |panel, crows| {
-            let mut apack = Vec::new();
+            let mut apack = buffer::take_uninit(apack_len);
             panel_body(&mut apack, panel * MC, crows);
+            buffer::give(apack);
         });
     } else {
-        let mut apack = Vec::new();
+        let mut apack = buffer::take_uninit(apack_len);
         for (panel, crows) in out.chunks_mut(MC * n).enumerate() {
             panel_body(&mut apack, panel * MC, crows);
         }
+        buffer::give(apack);
     }
+    buffer::give(bp);
 }
 
 /// Records one GEMM call into the aggregated metrics, keyed by a
@@ -259,6 +321,54 @@ fn record_gemm(m: usize, k: usize, n: usize, start: Option<std::time::Instant>) 
     }
 }
 
+/// Shared entry: dispatches to the naive or blocked kernel, drawing the
+/// output from the buffer pool and applying the fused epilogue (if any)
+/// before the rows leave cache.
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch(
+    ad: &[f32],
+    a_layout: Layout,
+    bd: &[f32],
+    b_layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) -> Vec<f32> {
+    let mut out = buffer::take(m * n);
+    if m * k * n < SMALL {
+        match (a_layout, b_layout) {
+            (Layout::Normal, Layout::Normal) => naive::matmul_into(ad, bd, m, k, n, &mut out),
+            (Layout::Normal, Layout::Transposed) => {
+                naive::matmul_nt_into(ad, bd, m, k, n, &mut out)
+            }
+            (Layout::Transposed, Layout::Normal) => {
+                naive::matmul_tn_into(ad, bd, m, k, n, &mut out)
+            }
+            (Layout::Transposed, Layout::Transposed) => {
+                unreachable!("no TT variant is exposed")
+            }
+        }
+        epi.apply(&mut out, n);
+    } else {
+        gemm_blocked(ad, a_layout, bd, b_layout, m, k, n, epi, &mut out);
+    }
+    out
+}
+
+fn check_bias(bias: Option<&Tensor>, n: usize, op: &'static str) -> Result<()> {
+    if let Some(b) = bias {
+        if b.shape().rank() != 1 || b.dims()[0] != n {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: format!("[{n}]"),
+                rhs: b.shape().to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Computes `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
 /// # Examples
@@ -272,6 +382,20 @@ fn record_gemm(m: usize, k: usize, n: usize, start: Option<std::time::Instant>) 
 /// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_bias_act(a, b, None, Activation::None)
+}
+
+/// Computes `act(A · B + bias)` with the bias-add and activation fused
+/// into the output write loop.
+///
+/// Bit-identical to `matmul` followed by [`add_bias_rows`] and the
+/// corresponding elementwise activation, but a single pass over `C`.
+pub fn matmul_bias_act(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    act: Activation,
+) -> Result<Tensor> {
     let start = gmorph_telemetry::enabled().then(std::time::Instant::now);
     let (m, k) = check_rank2(a, "matmul lhs")?;
     let (kb, n) = check_rank2(b, "matmul rhs")?;
@@ -282,18 +406,32 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_string(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    if m * k * n < SMALL {
-        naive::matmul_into(a.data(), b.data(), m, k, n, &mut out);
-    } else {
-        gemm_blocked(a.data(), Layout::Normal, b.data(), Layout::Normal, m, k, n, &mut out);
+    check_bias(bias, n, "matmul bias")?;
+    let epi = Epilogue {
+        bias: bias.map(|b| b.data()),
+        act,
+    };
+    if !epi.is_noop() {
+        gmorph_telemetry::counter!("kernel.fused_dispatch");
     }
+    let out = gemm_dispatch(a.data(), Layout::Normal, b.data(), Layout::Normal, m, k, n, epi);
     record_gemm(m, k, n, start);
     Tensor::from_vec(&[m, n], out)
 }
 
 /// Computes `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_nt_bias_act(a, b, None, Activation::None)
+}
+
+/// Computes `act(A · Bᵀ + bias)` with the epilogue fused into the output
+/// write loop — the shape of a linear layer's inference forward.
+pub fn matmul_nt_bias_act(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    act: Activation,
+) -> Result<Tensor> {
     let start = gmorph_telemetry::enabled().then(std::time::Instant::now);
     let (m, k) = check_rank2(a, "matmul_nt lhs")?;
     let (n, kb) = check_rank2(b, "matmul_nt rhs")?;
@@ -304,21 +442,24 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_string(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    if m * k * n < SMALL {
-        naive::matmul_nt_into(a.data(), b.data(), m, k, n, &mut out);
-    } else {
-        gemm_blocked(
-            a.data(),
-            Layout::Normal,
-            b.data(),
-            Layout::Transposed,
-            m,
-            k,
-            n,
-            &mut out,
-        );
+    check_bias(bias, n, "matmul_nt bias")?;
+    let epi = Epilogue {
+        bias: bias.map(|b| b.data()),
+        act,
+    };
+    if !epi.is_noop() {
+        gmorph_telemetry::counter!("kernel.fused_dispatch");
     }
+    let out = gemm_dispatch(
+        a.data(),
+        Layout::Normal,
+        b.data(),
+        Layout::Transposed,
+        m,
+        k,
+        n,
+        epi,
+    );
     record_gemm(m, k, n, start);
     Tensor::from_vec(&[m, n], out)
 }
@@ -335,21 +476,16 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_string(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    if m * k * n < SMALL {
-        naive::matmul_tn_into(a.data(), b.data(), m, k, n, &mut out);
-    } else {
-        gemm_blocked(
-            a.data(),
-            Layout::Transposed,
-            b.data(),
-            Layout::Normal,
-            m,
-            k,
-            n,
-            &mut out,
-        );
-    }
+    let out = gemm_dispatch(
+        a.data(),
+        Layout::Transposed,
+        b.data(),
+        Layout::Normal,
+        m,
+        k,
+        n,
+        Epilogue::default(),
+    );
     record_gemm(m, k, n, start);
     Tensor::from_vec(&[m, n], out)
 }
@@ -455,7 +591,8 @@ pub mod naive {
 pub fn transpose(a: &Tensor) -> Result<Tensor> {
     let (m, n) = check_rank2(a, "transpose")?;
     let ad = a.data();
-    let mut out = vec![0.0f32; m * n];
+    // Every element is written below, so recycled contents are fine.
+    let mut out = buffer::take_uninit(m * n);
     for i in 0..m {
         for j in 0..n {
             out[j * m + i] = ad[i * n + j];

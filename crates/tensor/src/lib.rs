@@ -20,6 +20,7 @@
 //! Work decomposition depends only on problem shape and every reduction has
 //! a fixed order, so results are bit-identical across thread counts.
 
+pub mod buffer;
 pub mod conv;
 pub mod engine;
 pub mod gemm;

@@ -46,6 +46,35 @@ fn par_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result
     Ok(out)
 }
 
+/// An activation a fused kernel epilogue can apply while writing output.
+///
+/// Each variant uses the *same scalar function* as the standalone
+/// elementwise pass ([`relu_forward`] / [`gelu_forward`]), so fusing it
+/// into a GEMM or convolution write loop is bit-identical to running the
+/// separate pass afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Identity: the epilogue applies only the bias (if any).
+    #[default]
+    None,
+    /// `max(x, 0)`.
+    Relu,
+    /// GELU, tanh approximation.
+    Gelu,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::None => v,
+            Activation::Relu => v.max(0.0),
+            Activation::Gelu => gelu_scalar(v),
+        }
+    }
+}
+
 /// ReLU forward: `max(x, 0)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
     par_unary(x, |v| v.max(0.0))
