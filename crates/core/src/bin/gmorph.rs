@@ -5,9 +5,12 @@
 //!                 [--mode real|surrogate] [--iterations N] [--seed N]
 //!                 [--batch-size K] [--throughput FLOPS] [--render]
 //!                 [--trace PATH] [--quiet]
+//!                 [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
 //! gmorph benchmarks
 //! gmorph baselines --bench B1
 //! gmorph trace-validate PATH
+//! gmorph checkpoint-inspect PATH
+//! gmorph trace-diff A B
 //! ```
 //!
 //! `optimize` prepares a benchmark session (training or loading cached
@@ -15,6 +18,13 @@
 //! paper-style configuration file (see `gmorph::configfile`), with
 //! command-line flags overriding file values. `--batch-size` switches to
 //! the batched parallel search (§7 extension).
+//!
+//! `--checkpoint-dir DIR` makes the search crash-safe: its full state is
+//! snapshotted into DIR every `--checkpoint-every` iterations (and on
+//! panic), and `--resume` continues bit-exactly from the newest valid
+//! snapshot after a crash. `checkpoint-inspect` prints a snapshot's
+//! header and contents; `trace-diff` compares two search-trace JSONL
+//! files ignoring wall-clock fields (the resume-smoke CI check).
 //!
 //! `--trace PATH` (or the `GMORPH_TRACE` environment variable) enables
 //! structured telemetry: every span, search iteration, and metric flush is
@@ -24,7 +34,7 @@
 
 use gmorph::perf::estimator::estimate_latency_ms;
 use gmorph::prelude::*;
-use gmorph::search::batched::run_search_batched;
+use gmorph::search::batched::run_search_batched_checkpointed;
 use gmorph::{baselines, configfile, telemetry};
 use std::process::ExitCode;
 
@@ -41,8 +51,12 @@ struct Cli {
     trace: Option<std::path::PathBuf>,
     quiet: bool,
     render: bool,
-    /// Positional argument (the file for `trace-validate`).
+    checkpoint_dir: Option<std::path::PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume: bool,
+    /// Positional arguments (files for `trace-validate` / `trace-diff`).
     target: Option<std::path::PathBuf>,
+    target2: Option<std::path::PathBuf>,
 }
 
 /// `println!` that respects `--quiet`. Progress chatter goes through this;
@@ -71,7 +85,11 @@ fn parse_cli() -> Result<Cli, String> {
         trace: None,
         quiet: false,
         render: false,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
         target: None,
+        target2: None,
     };
     while let Some(arg) = args.next() {
         let mut take = |what: &str| args.next().ok_or(format!("{what} needs a value"));
@@ -108,8 +126,20 @@ fn parse_cli() -> Result<Cli, String> {
             "--trace" => cli.trace = Some(take("--trace")?.into()),
             "--quiet" => cli.quiet = true,
             "--render" => cli.render = true,
+            "--checkpoint-dir" => cli.checkpoint_dir = Some(take("--checkpoint-dir")?.into()),
+            "--checkpoint-every" => {
+                cli.checkpoint_every = Some(
+                    take("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "bad checkpoint-every")?,
+                )
+            }
+            "--resume" => cli.resume = true,
             other if !other.starts_with('-') && cli.target.is_none() => {
                 cli.target = Some(other.into());
+            }
+            other if !other.starts_with('-') && cli.target2.is_none() => {
+                cli.target2 = Some(other.into());
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -196,6 +226,13 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
     if let Some(s) = cli.seed {
         cfg.seed = s;
     }
+    if let Some(dir) = &cli.checkpoint_dir {
+        cfg.checkpoint_dir = Some(dir.clone());
+    }
+    if let Some(k) = cli.checkpoint_every {
+        cfg.checkpoint_every = k;
+    }
+    cfg.resume = cfg.resume || cli.resume;
 
     say!(cli, "preparing {bench_id} (teachers train once, then cache)...");
     let bench = build_benchmark(bench_id, &DataProfile::standard(), cfg.seed)
@@ -233,13 +270,14 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
             let mode = session.eval_mode(cfg.mode).map_err(|e| e.to_string())?;
             let mut search_cfg = cfg.to_search_config();
             search_cfg.virtual_throughput = session.virtual_throughput;
-            let r = run_search_batched(
+            let r = run_search_batched_checkpointed(
                 &session.mini_graph,
                 &session.paper_graph,
                 &session.weights,
                 &mode,
                 &search_cfg,
                 k,
+                cfg.checkpoint_options().as_ref(),
             )
             .map_err(|e| e.to_string())?;
             (
@@ -280,12 +318,158 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints a checkpoint file's envelope header and, for known payload
+/// kinds, its decoded summary. Corrupt files report *why* they are
+/// rejected — the same classification the resume fallback uses.
+fn cmd_checkpoint_inspect(cli: &Cli) -> Result<(), String> {
+    use gmorph::search::checkpoint::{BatchedSnapshot, SearchSnapshot, BATCHED_KIND, SEARCH_KIND};
+    use gmorph::tensor::checkpoint::{is_corruption, Envelope};
+
+    let path = cli.target.as_ref().ok_or("checkpoint-inspect needs a file path")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let env = Envelope::decode(&bytes).map_err(|e| {
+        if is_corruption(&e) {
+            format!("{}: CORRUPT — {e}", path.display())
+        } else {
+            format!("{}: {e}", path.display())
+        }
+    })?;
+    println!("{}: {} bytes", path.display(), bytes.len());
+    println!("  kind    {}", env.kind);
+    println!("  schema  v{}", env.schema);
+    for (name, data) in &env.sections {
+        println!("  section {name:<10} {} bytes", data.len());
+    }
+    match env.kind.as_str() {
+        SEARCH_KIND => {
+            let snap = SearchSnapshot::decode(&env).map_err(|e| e.to_string())?;
+            println!("  fingerprint   {:#018x}", snap.state.fingerprint);
+            println!("  next iter     {}", snap.state.next_iter);
+            println!("  evaluated     {}", snap.evaluated_count);
+            println!("  rule filtered {}", snap.rule_filtered);
+            println!("  duplicates    {}", snap.duplicates);
+            println!("  elites        {}", snap.state.elites.len());
+            println!("  best latency  {:.3} ms", snap.best.latency_ms);
+            println!("  virtual hours {:.4}", snap.state.clock_seconds / 3600.0);
+            println!("  trace records {}", snap.trace.len());
+        }
+        BATCHED_KIND => {
+            let snap = BatchedSnapshot::decode(&env).map_err(|e| e.to_string())?;
+            println!("  fingerprint   {:#018x}", snap.state.fingerprint);
+            println!("  next round    {}", snap.state.next_iter);
+            println!("  elites        {}", snap.state.elites.len());
+            println!("  best latency  {:.3} ms", snap.best_latency);
+            println!("  rounds        {}", snap.rounds.len());
+        }
+        other => println!("  (no decoder for payload kind {other:?})"),
+    }
+    Ok(())
+}
+
+/// Compares two search-trace JSONL files, ignoring wall-clock fields
+/// (`wall_seconds` is never bit-identical across runs; everything else
+/// must be). This is the CI resume-smoke equality check.
+fn cmd_trace_diff(cli: &Cli) -> Result<(), String> {
+    let a_path = cli.target.as_ref().ok_or("trace-diff needs two file paths")?;
+    let b_path = cli.target2.as_ref().ok_or("trace-diff needs two file paths")?;
+    let (a_meta, a_recs) = gmorph::search::persist::load_trace(a_path)?;
+    let (b_meta, b_recs) = gmorph::search::persist::load_trace(b_path)?;
+
+    let mut diffs = Vec::new();
+    if a_meta.iterations != b_meta.iterations {
+        diffs.push(format!(
+            "meta.iterations: {} vs {}",
+            a_meta.iterations, b_meta.iterations
+        ));
+    }
+    for (name, x, y) in [
+        ("original_latency_ms", a_meta.original_latency_ms, b_meta.original_latency_ms),
+        ("best_latency_ms", a_meta.best_latency_ms, b_meta.best_latency_ms),
+        ("speedup", a_meta.speedup, b_meta.speedup),
+        ("virtual_hours", a_meta.virtual_hours, b_meta.virtual_hours),
+    ] {
+        if x.to_bits() != y.to_bits() {
+            diffs.push(format!("meta.{name}: {x} vs {y}"));
+        }
+    }
+    if a_recs.len() != b_recs.len() {
+        diffs.push(format!("record count: {} vs {}", a_recs.len(), b_recs.len()));
+    }
+    for (i, (x, y)) in a_recs.iter().zip(&b_recs).enumerate() {
+        let mut field_diffs = Vec::new();
+        if x.iter != y.iter {
+            field_diffs.push(format!("iter {} vs {}", x.iter, y.iter));
+        }
+        if x.status != y.status {
+            field_diffs.push(format!("status {:?} vs {:?}", x.status, y.status));
+        }
+        if x.from_elite != y.from_elite {
+            field_diffs.push("from_elite".to_string());
+        }
+        if x.drop.to_bits() != y.drop.to_bits() && !(x.drop.is_nan() && y.drop.is_nan()) {
+            field_diffs.push(format!("drop {} vs {}", x.drop, y.drop));
+        }
+        if x.met_target != y.met_target {
+            field_diffs.push("met_target".to_string());
+        }
+        if x.candidate_latency_ms.to_bits() != y.candidate_latency_ms.to_bits()
+            && !(x.candidate_latency_ms.is_nan() && y.candidate_latency_ms.is_nan())
+        {
+            field_diffs.push(format!(
+                "candidate_latency_ms {} vs {}",
+                x.candidate_latency_ms, y.candidate_latency_ms
+            ));
+        }
+        if x.best_latency_ms.to_bits() != y.best_latency_ms.to_bits() {
+            field_diffs.push(format!(
+                "best_latency_ms {} vs {}",
+                x.best_latency_ms, y.best_latency_ms
+            ));
+        }
+        if x.epochs != y.epochs {
+            field_diffs.push(format!("epochs {} vs {}", x.epochs, y.epochs));
+        }
+        if x.virtual_hours.to_bits() != y.virtual_hours.to_bits() {
+            field_diffs.push(format!(
+                "virtual_hours {} vs {}",
+                x.virtual_hours, y.virtual_hours
+            ));
+        }
+        // wall_seconds deliberately ignored.
+        if !field_diffs.is_empty() {
+            diffs.push(format!("record {i}: {}", field_diffs.join(", ")));
+        }
+    }
+    if diffs.is_empty() {
+        say!(
+            cli,
+            "{} and {} are identical ({} records; wall-clock ignored)",
+            a_path.display(),
+            b_path.display(),
+            a_recs.len()
+        );
+        Ok(())
+    } else {
+        for d in diffs.iter().take(20) {
+            eprintln!("  {d}");
+        }
+        Err(format!(
+            "traces differ in {} place(s): {} vs {}",
+            diffs.len(),
+            a_path.display(),
+            b_path.display()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let cli = match parse_cli() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: gmorph <optimize|benchmarks|baselines|trace-validate> [options]");
+            eprintln!(
+                "usage: gmorph <optimize|benchmarks|baselines|trace-validate|checkpoint-inspect|trace-diff> [options]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -303,6 +487,8 @@ fn main() -> ExitCode {
         }
         "optimize" => cmd_optimize(&cli),
         "trace-validate" => cmd_trace_validate(&cli),
+        "checkpoint-inspect" => cmd_checkpoint_inspect(&cli),
+        "trace-diff" => cmd_trace_diff(&cli),
         other => Err(format!("unknown command {other}")),
     };
     // Flush and close the telemetry sink (no-op when disabled).

@@ -132,6 +132,15 @@ pub struct OptimizationConfig {
     pub sa_alpha: f32,
     /// Search seed.
     pub seed: u64,
+    /// Directory for crash-safe search checkpoints (`None` disables
+    /// checkpointing).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Snapshot-to-disk cadence in iterations (pending snapshots between
+    /// writes are flushed on drop/panic).
+    pub checkpoint_every: usize,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir` whose
+    /// config fingerprint matches.
+    pub resume: bool,
 }
 
 impl Default for OptimizationConfig {
@@ -152,11 +161,25 @@ impl Default for OptimizationConfig {
             max_ops_per_pass: 2,
             sa_alpha: 0.99,
             seed: 0,
+            checkpoint_dir: None,
+            checkpoint_every: 4,
+            resume: false,
         }
     }
 }
 
 impl OptimizationConfig {
+    /// Lowers the checkpoint settings into driver form, wiring in the
+    /// `GMORPH_CRASH_AFTER` crash hook (used by the CI resume-smoke job).
+    pub fn checkpoint_options(&self) -> Option<gmorph_search::CheckpointOptions> {
+        let dir = self.checkpoint_dir.clone()?;
+        let mut opts = gmorph_search::CheckpointOptions::new(dir);
+        opts.every = self.checkpoint_every.max(1);
+        opts.resume = self.resume;
+        opts.crash_after = gmorph_search::CheckpointOptions::crash_after_from_env();
+        Some(opts)
+    }
+
     /// Lowers this configuration into the search-driver form.
     pub fn to_search_config(&self) -> SearchConfig {
         SearchConfig {

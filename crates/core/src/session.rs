@@ -10,7 +10,7 @@ use gmorph_models::zoo::BenchmarkDef;
 use gmorph_models::SingleTaskModel;
 use gmorph_perf::accuracy::{teacher_targets, SurrogateParams};
 use gmorph_perf::estimator::{estimate_latency_ms, Backend};
-use gmorph_search::driver::{run_search, SearchResult};
+use gmorph_search::driver::{run_search_checkpointed, SearchResult};
 use gmorph_search::evaluator::{EvalMode, RealContext, SurrogateContext};
 use gmorph_tensor::rng::Rng;
 use gmorph_tensor::{Result, TensorError};
@@ -138,12 +138,13 @@ impl Session {
         let mode = self.eval_mode(cfg.mode)?;
         let mut search_cfg = cfg.to_search_config();
         search_cfg.virtual_throughput = self.virtual_throughput;
-        run_search(
+        run_search_checkpointed(
             &self.mini_graph,
             &self.paper_graph,
             &self.weights,
             &mode,
             &search_cfg,
+            cfg.checkpoint_options().as_ref(),
         )
     }
 

@@ -141,6 +141,55 @@ impl AbsGraph {
         id
     }
 
+    /// The arena's allocation counters `(next_id, next_synthetic_op)`.
+    ///
+    /// Exposed for crash-safe checkpointing: two graphs that are
+    /// structurally equal but disagree on these counters would assign
+    /// different ids to the *next* mutation, so a bit-exact resume must
+    /// snapshot and restore them.
+    pub fn arena_counters(&self) -> (NodeId, usize) {
+        (self.next_id, self.next_synthetic_op)
+    }
+
+    /// Rebuilds a graph from raw arena parts, preserving node ids, root
+    /// and child ordering, and allocation counters exactly.
+    ///
+    /// This is the restore half of the checkpoint codec: unlike
+    /// [`crate::persist::decode_graph`], which renumbers the arena, a
+    /// graph restored here continues to mutate identically to the one
+    /// that was saved. Node `capacity` is recomputed from the spec (as
+    /// [`AbsGraph::add_node`] does) and the result is validated.
+    pub fn from_arena(
+        input_shape: Vec<usize>,
+        tasks: Vec<TaskSpec>,
+        nodes: Vec<(NodeId, AbsNode)>,
+        roots: Vec<NodeId>,
+        next_id: NodeId,
+        next_synthetic_op: usize,
+    ) -> Result<AbsGraph> {
+        let mut g = AbsGraph::new(input_shape, tasks);
+        for (id, mut node) in nodes {
+            if id >= next_id {
+                return Err(TensorError::InvalidArgument {
+                    op: "AbsGraph::from_arena",
+                    msg: format!("node id {id} not below next_id {next_id}"),
+                });
+            }
+            node.capacity = node.spec.capacity();
+            if g.nodes.insert(id, node).is_some() {
+                return Err(TensorError::InvalidArgument {
+                    op: "AbsGraph::from_arena",
+                    msg: format!("duplicate node id {id}"),
+                });
+            }
+        }
+        g.roots = roots;
+        g.next_id = next_id;
+        g.next_synthetic_op = next_synthetic_op.max(Self::SYNTHETIC_BASE);
+        g.validate()?;
+        Ok(g)
+    }
+
     /// Detaches `id` from its parent (or the root list) without removing it.
     pub fn detach(&mut self, id: NodeId) -> Result<()> {
         let parent = self.node(id)?.parent;

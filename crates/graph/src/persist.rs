@@ -260,9 +260,148 @@ pub fn decode_graph(text: &str) -> Result<AbsGraph> {
     Ok(g)
 }
 
-/// Saves a fused model (graph + weights) to one file.
-pub fn save_model(path: &std::path::Path, graph: &AbsGraph, weights: &WeightStore) -> Result<()> {
-    let header = encode_graph(graph);
+fn encode_ids(ids: &[usize]) -> String {
+    if ids.is_empty() {
+        return "-".to_string();
+    }
+    ids.iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_ids(s: &str) -> Result<Vec<usize>> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| p.parse::<usize>().map_err(|_| bad(format!("bad id list {s:?}"))))
+        .collect()
+}
+
+/// Serializes a graph's *exact* arena state for crash-safe checkpointing.
+///
+/// The portable [`encode_graph`] renumbers node ids on reload; that is
+/// fine for shipping models, but a search checkpoint must restore the
+/// arena bit-exactly — node ids, root and child ordering, and the
+/// `next_id`/`next_synthetic_op` allocation counters all feed future
+/// mutations, so any renumbering makes a resumed search diverge from the
+/// uninterrupted one.
+pub fn encode_graph_exact(graph: &AbsGraph) -> String {
+    let (next_id, next_syn) = graph.arena_counters();
+    let mut out = format!("gmorph-graph-exact v{FORMAT_VERSION}\n");
+    out.push_str(&format!("input {}\n", encode_dims(&graph.input_shape)));
+    out.push_str(&format!("arena {next_id} {next_syn}\n"));
+    for t in &graph.tasks {
+        out.push_str(&format!(
+            "task {} {} {} {}\n",
+            t.name.replace(' ', "_"),
+            t.classes,
+            encode_metric(t.metric),
+            encode_loss(t.loss)
+        ));
+    }
+    out.push_str(&format!("roots {}\n", encode_ids(&graph.roots)));
+    for (id, n) in graph.iter() {
+        out.push_str(&format!(
+            "node {} {} {} {} {} {} {}\n",
+            id,
+            n.task_id,
+            n.op_id,
+            match n.parent {
+                Some(p) => p.to_string(),
+                None => "-".to_string(),
+            },
+            encode_dims(&n.input_shape),
+            encode_spec(&n.spec),
+            encode_ids(&n.children)
+        ));
+    }
+    out
+}
+
+/// Restores a graph from [`encode_graph_exact`] output, arena intact.
+pub fn decode_graph_exact(text: &str) -> Result<AbsGraph> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| bad("empty header".into()))?;
+    if header != format!("gmorph-graph-exact v{FORMAT_VERSION}") {
+        return Err(bad(format!("unsupported exact header {header:?}")));
+    }
+    let mut input_shape = None;
+    let mut counters = None;
+    let mut tasks = Vec::new();
+    let mut roots = Vec::new();
+    let mut nodes: Vec<(usize, AbsNode)> = Vec::new();
+    for line in lines {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("input") => {
+                input_shape = Some(decode_dims(parts.get(1).copied().unwrap_or(""))?)
+            }
+            Some("arena") => {
+                if parts.len() != 3 {
+                    return Err(bad(format!("bad arena line {line:?}")));
+                }
+                counters = Some((
+                    parts[1].parse().map_err(|_| bad("bad next_id".into()))?,
+                    parts[2]
+                        .parse()
+                        .map_err(|_| bad("bad next_synthetic_op".into()))?,
+                ));
+            }
+            Some("task") => {
+                if parts.len() != 5 {
+                    return Err(bad(format!("bad task line {line:?}")));
+                }
+                tasks.push(TaskSpec {
+                    name: parts[1].to_string(),
+                    classes: parts[2].parse().map_err(|_| bad("bad classes".into()))?,
+                    metric: decode_metric(parts[3])?,
+                    loss: decode_loss(parts[4])?,
+                });
+            }
+            Some("roots") => roots = decode_ids(parts.get(1).copied().unwrap_or("-"))?,
+            Some("node") => {
+                if parts.len() != 8 {
+                    return Err(bad(format!("bad exact node line {line:?}")));
+                }
+                let id: usize = parts[1].parse().map_err(|_| bad("bad id".into()))?;
+                let spec = decode_spec(parts[6])?;
+                nodes.push((
+                    id,
+                    AbsNode {
+                        task_id: parts[2].parse().map_err(|_| bad("bad task id".into()))?,
+                        op_id: parts[3].parse().map_err(|_| bad("bad op id".into()))?,
+                        op_type: op_type_of(&spec),
+                        spec,
+                        input_shape: decode_dims(parts[5])?,
+                        capacity: 0,
+                        parent: match parts[4] {
+                            "-" => None,
+                            p => Some(p.parse().map_err(|_| bad("bad parent".into()))?),
+                        },
+                        children: decode_ids(parts[7])?,
+                    },
+                ));
+            }
+            Some(other) => return Err(bad(format!("unknown exact record {other:?}"))),
+            None => {}
+        }
+    }
+    let input_shape = input_shape.ok_or_else(|| bad("missing input record".into()))?;
+    let (next_id, next_syn) = counters.ok_or_else(|| bad("missing arena record".into()))?;
+    AbsGraph::from_arena(input_shape, tasks, nodes, roots, next_id, next_syn)
+}
+
+fn model_entries(graph: &AbsGraph, weights: &WeightStore) -> Result<Vec<(String, Tensor)>> {
+    model_entries_with(encode_graph(graph), graph, weights)
+}
+
+fn model_entries_with(
+    header: String,
+    graph: &AbsGraph,
+    weights: &WeightStore,
+) -> Result<Vec<(String, Tensor)>> {
     let header_bytes: Vec<f32> = header.bytes().map(|b| b as f32).collect();
     let mut entries = vec![(
         "__graph".to_string(),
@@ -282,12 +421,10 @@ pub fn save_model(path: &std::path::Path, graph: &AbsGraph, weights: &WeightStor
             ));
         }
     }
-    save_state_dict(path, &entries)
+    Ok(entries)
 }
 
-/// Loads a fused model saved by [`save_model`].
-pub fn load_model(path: &std::path::Path) -> Result<(AbsGraph, WeightStore)> {
-    let entries = load_state_dict(path)?;
+fn model_from_entries(entries: &[(String, Tensor)]) -> Result<(AbsGraph, WeightStore)> {
     let header = entries
         .iter()
         .find(|(k, _)| k == "__graph")
@@ -301,7 +438,12 @@ pub fn load_model(path: &std::path::Path) -> Result<(AbsGraph, WeightStore)> {
             char::from_u32(b).unwrap_or('\u{FFFD}')
         })
         .collect();
-    let graph = decode_graph(&text)?;
+    // Dispatch on the header line: exact (checkpoint) vs portable format.
+    let graph = if text.starts_with("gmorph-graph-exact ") {
+        decode_graph_exact(&text)?
+    } else {
+        decode_graph(&text)?
+    };
     let mut weights = WeightStore::new();
     for (_, node) in graph.iter() {
         let (t_id, op) = node.key();
@@ -321,6 +463,48 @@ pub fn load_model(path: &std::path::Path) -> Result<(AbsGraph, WeightStore)> {
         weights.insert(node.key(), node.spec.clone(), state);
     }
     Ok((graph, weights))
+}
+
+/// Saves a fused model (graph + weights) to one file.
+pub fn save_model(path: &std::path::Path, graph: &AbsGraph, weights: &WeightStore) -> Result<()> {
+    save_state_dict(path, &model_entries(graph, weights)?)
+}
+
+/// Loads a fused model saved by [`save_model`].
+pub fn load_model(path: &std::path::Path) -> Result<(AbsGraph, WeightStore)> {
+    model_from_entries(&load_state_dict(path)?)
+}
+
+/// Serializes a fused model (graph + weights) to bytes.
+///
+/// Same format as [`save_model`], in memory. Encoding is deterministic
+/// (graph iteration order), so identical models produce identical bytes —
+/// the comparison primitive of the checkpoint/resume replay tests, and the
+/// payload format of search checkpoints.
+pub fn encode_model_bytes(graph: &AbsGraph, weights: &WeightStore) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    gmorph_tensor::serialize::write_state_dict(&mut buf, &model_entries(graph, weights)?)?;
+    Ok(buf)
+}
+
+/// Like [`encode_model_bytes`] but with the *exact* graph header
+/// ([`encode_graph_exact`]): node ids and allocation counters survive the
+/// round trip. This is the elite/best-model payload of search
+/// checkpoints, where a renumbered arena would derail the replay.
+pub fn encode_model_bytes_exact(graph: &AbsGraph, weights: &WeightStore) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    gmorph_tensor::serialize::write_state_dict(
+        &mut buf,
+        &model_entries_with(encode_graph_exact(graph), graph, weights)?,
+    )?;
+    Ok(buf)
+}
+
+/// Restores a fused model from [`encode_model_bytes`] or
+/// [`encode_model_bytes_exact`] output (the header is self-describing).
+pub fn decode_model_bytes(bytes: &[u8]) -> Result<(AbsGraph, WeightStore)> {
+    let mut cursor = bytes;
+    model_from_entries(&gmorph_tensor::serialize::read_state_dict(&mut cursor)?)
 }
 
 #[cfg(test)]
@@ -418,6 +602,30 @@ mod tests {
         assert_eq!(back.len(), g.len());
         assert_eq!(back.tasks, g.tasks);
         assert_eq!(back.input_shape, g.input_shape);
+    }
+
+    #[test]
+    fn exact_codec_preserves_arena_state() {
+        let (g, store) = mutated_graph_with_weights();
+        let back = decode_graph_exact(&encode_graph_exact(&g)).unwrap();
+        assert_eq!(back.arena_counters(), g.arena_counters());
+        assert_eq!(back.roots, g.roots);
+        assert_eq!(back.signature(), g.signature());
+        // Node ids, parent links, and child ordering must all survive —
+        // the portable codec renumbers these, which is exactly what a
+        // search checkpoint cannot tolerate.
+        let arena = |g: &AbsGraph| -> Vec<(usize, Option<usize>, Vec<usize>)> {
+            g.iter()
+                .map(|(id, n)| (id, n.parent, n.children.clone()))
+                .collect()
+        };
+        assert_eq!(arena(&back), arena(&g));
+
+        // The exact header is self-describing through decode_model_bytes.
+        let bytes = encode_model_bytes_exact(&g, &store).unwrap();
+        let (g2, _) = decode_model_bytes(&bytes).unwrap();
+        assert_eq!(g2.arena_counters(), g.arena_counters());
+        assert_eq!(arena(&g2), arena(&g));
     }
 
     #[test]

@@ -70,6 +70,24 @@ impl Optim {
         }
     }
 
+    /// Adam's bias-correction step counter (0 for SGD).
+    ///
+    /// Checkpointed alongside the per-parameter moments: a resumed run
+    /// must continue the bias-correction schedule where it left off.
+    pub fn step_count(&self) -> u64 {
+        match self {
+            Optim::Adam { t, .. } => *t,
+            Optim::Sgd { .. } => 0,
+        }
+    }
+
+    /// Restores the step counter from a checkpoint (no-op for SGD).
+    pub fn set_step_count(&mut self, steps: u64) {
+        if let Optim::Adam { t, .. } = self {
+            *t = steps;
+        }
+    }
+
     /// Applies the update rule to one parameter and zeroes its gradient.
     pub fn update(&self, p: &mut Parameter) {
         match *self {

@@ -76,6 +76,11 @@ impl VirtualClock {
     pub fn charge_overhead(&mut self, seconds: f64) {
         self.seconds += seconds;
     }
+
+    /// Restores the accumulated seconds bit-exactly from a checkpoint.
+    pub fn restore_seconds(&mut self, seconds: f64) {
+        self.seconds = seconds;
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,16 @@ impl CapacityRuleFilter {
         self.failures.is_empty()
     }
 
+    /// Recorded failures in insertion order (checkpointed search state).
+    pub fn failures(&self) -> &[CapacityVector] {
+        &self.failures
+    }
+
+    /// Rebuilds a filter from checkpointed failures, preserving order.
+    pub fn from_failures(failures: Vec<CapacityVector>) -> Self {
+        CapacityRuleFilter { failures }
+    }
+
     /// Records a candidate that failed to meet the accuracy target.
     ///
     /// Dominated entries (failures that are themselves more aggressive

@@ -12,6 +12,10 @@
 //! classic synchronous parallel-SA scheme: slightly staler feedback in
 //! exchange for `batch_size`-way parallel fine-tuning.
 
+use crate::checkpoint::{
+    config_fingerprint, load_latest_batched, BatchedSnapshot, CheckpointManager,
+    CheckpointOptions, LoopState, BATCHED_KIND,
+};
 use crate::driver::{propose_candidate, Objective, SearchConfig};
 use crate::evaluator::EvalMode;
 use crate::history::{Elite, History};
@@ -71,6 +75,25 @@ pub fn run_search_batched(
     cfg: &SearchConfig,
     batch_size: usize,
 ) -> Result<BatchedResult> {
+    run_search_batched_checkpointed(mini, paper, teacher_weights, mode, cfg, batch_size, None)
+}
+
+/// Runs the batched search with optional crash-safe checkpointing.
+///
+/// Snapshot granularity is one *round* (`batch_size` candidates): the
+/// shared state is only mutated between rounds, so a round boundary is
+/// the natural consistent cut. Resuming replays the remaining rounds
+/// bit-exactly — the parallel evaluator derives each candidate's RNG from
+/// the round seed, not from thread scheduling.
+pub fn run_search_batched_checkpointed(
+    mini: &AbsGraph,
+    paper: &AbsGraph,
+    teacher_weights: &WeightStore,
+    mode: &EvalMode,
+    cfg: &SearchConfig,
+    batch_size: usize,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<BatchedResult> {
     if batch_size == 0 {
         return Err(TensorError::InvalidArgument {
             op: "run_search_batched",
@@ -106,10 +129,50 @@ pub fn run_search_batched(
     let mut best_mini = mini.clone();
     let mut best_paper = paper.clone();
     let mut best_latency = original_latency_ms;
-    let mut rounds = Vec::new();
+    let mut rounds: Vec<BatchRound> = Vec::new();
     let n_rounds = cfg.iterations.div_ceil(batch_size);
 
-    for round in 1..=n_rounds {
+    // Fold the batch size into the fingerprint: the same config at a
+    // different batch size is a different (non-resumable) run.
+    let fingerprint = config_fingerprint(cfg, mini, paper)
+        ^ (batch_size as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut start_round = 1usize;
+    if let Some(opts) = ckpt {
+        if opts.resume {
+            if let Some(snap) = load_latest_batched(&opts.dir, fingerprint)? {
+                rng = Rng::restore(&snap.state.rng);
+                policy.restore_last_drop(snap.state.last_drop);
+                history =
+                    History::from_parts(snap.state.evaluated, snap.state.elites, policy.max_elites);
+                rule_filter = CapacityRuleFilter::from_failures(snap.state.failures);
+                clock.restore_seconds(snap.state.clock_seconds);
+                best_mini = snap.best_mini;
+                best_paper = snap.best_paper;
+                best_latency = snap.best_latency;
+                rounds = snap
+                    .rounds
+                    .into_iter()
+                    .map(|(round, evaluated, skipped, best_latency_ms, virtual_hours)| BatchRound {
+                        round,
+                        evaluated,
+                        skipped,
+                        best_latency_ms,
+                        virtual_hours,
+                    })
+                    .collect();
+                start_round = snap.state.next_iter;
+                gmorph_telemetry::point!(
+                    "search.resumed",
+                    next_round = start_round,
+                    elites = history.elite_count(),
+                    virtual_hours = clock.hours()
+                );
+            }
+        }
+    }
+    let mut manager = ckpt.map(|opts| CheckpointManager::new(opts, BATCHED_KIND));
+
+    for round in start_round..=n_rounds {
         // Sample a batch of candidates from the current policy state.
         let mut batch: Vec<(AbsGraph, AbsGraph, WeightStore)> = Vec::new();
         let mut skipped = 0usize;
@@ -221,6 +284,38 @@ pub fn run_search_batched(
             best_latency_ms: best_latency,
             virtual_hours: clock.hours(),
         });
+
+        // Round boundary: the only point where shared state is consistent.
+        if let Some(mgr) = manager.as_mut() {
+            let snapshot = BatchedSnapshot {
+                state: LoopState {
+                    fingerprint,
+                    next_iter: round + 1,
+                    rng: rng.state(),
+                    last_drop: policy.last_drop(),
+                    clock_seconds: clock.seconds(),
+                    wall_offset: 0.0,
+                    failures: rule_filter.failures().to_vec(),
+                    evaluated: history
+                        .evaluated_signatures()
+                        .into_iter()
+                        .map(str::to_string)
+                        .collect(),
+                    elites: history.elites().to_vec(),
+                },
+                best_mini: best_mini.clone(),
+                best_paper: best_paper.clone(),
+                best_latency,
+                rounds: rounds
+                    .iter()
+                    .map(|r| (r.round, r.evaluated, r.skipped, r.best_latency_ms, r.virtual_hours))
+                    .collect(),
+            };
+            mgr.tick(round, snapshot.encode()?)?;
+        }
+        if let Some(opts) = ckpt {
+            opts.maybe_crash(round);
+        }
     }
 
     Ok(BatchedResult {

@@ -13,6 +13,10 @@
 //! construction (both graphs are parsed from parallel spec lists and
 //! mutated identically), which the driver asserts every iteration.
 
+use crate::checkpoint::{
+    config_fingerprint, load_latest_search, CheckpointManager, CheckpointOptions, LoopState,
+    SearchSnapshot, SEARCH_KIND,
+};
 use crate::evaluator::EvalMode;
 use crate::history::{Elite, History};
 use crate::policy::{PolicyKind, SimulatedAnnealing};
@@ -209,6 +213,26 @@ pub fn run_search(
     mode: &EvalMode,
     cfg: &SearchConfig,
 ) -> Result<SearchResult> {
+    run_search_checkpointed(mini, paper, teacher_weights, mode, cfg, None)
+}
+
+/// Runs Algorithm 1 with optional crash-safe checkpointing.
+///
+/// With `ckpt = Some(opts)` the loop snapshots its complete state after
+/// every iteration (written to disk every `opts.every` iterations and on
+/// drop/panic), and — when `opts.resume` is set — restores the newest
+/// valid snapshot whose config fingerprint matches before iterating.
+/// A resumed run replays the remaining iterations bit-exactly: every
+/// field of the final [`SearchResult`] except wall-clock seconds equals
+/// the uninterrupted run's.
+pub fn run_search_checkpointed(
+    mini: &AbsGraph,
+    paper: &AbsGraph,
+    teacher_weights: &WeightStore,
+    mode: &EvalMode,
+    cfg: &SearchConfig,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<SearchResult> {
     if mini.len() != paper.len() {
         return Err(TensorError::InvalidArgument {
             op: "run_search",
@@ -264,7 +288,45 @@ pub fn run_search(
     let mut early_terminated = 0usize;
     let mut duplicates = 0usize;
 
-    for iter in 1..=cfg.iterations {
+    // Resume: restore the newest valid snapshot whose fingerprint matches
+    // this exact config + input graphs, then continue from its iteration.
+    let fingerprint = config_fingerprint(cfg, mini, paper);
+    let mut start_iter = 1usize;
+    let mut wall_offset = 0.0f64;
+    if let Some(opts) = ckpt {
+        if opts.resume {
+            if let Some(snap) = load_latest_search(&opts.dir, fingerprint)? {
+                rng = Rng::restore(&snap.state.rng);
+                policy.restore_last_drop(snap.state.last_drop);
+                history =
+                    History::from_parts(snap.state.evaluated, snap.state.elites, policy.max_elites);
+                rule_filter = CapacityRuleFilter::from_failures(snap.state.failures);
+                clock.restore_seconds(snap.state.clock_seconds);
+                best = snap.best;
+                evaluated = snap.evaluated_count;
+                rule_filtered = snap.rule_filtered;
+                early_terminated = snap.early_terminated;
+                duplicates = snap.duplicates;
+                trace = snap.trace;
+                start_iter = snap.state.next_iter;
+                wall_offset = snap.state.wall_offset;
+                gmorph_telemetry::point!(
+                    "search.resumed",
+                    next_iter = start_iter,
+                    evaluated = evaluated,
+                    elites = history.elite_count(),
+                    virtual_hours = clock.hours()
+                );
+            }
+        }
+    }
+    let mut manager = ckpt.map(|opts| CheckpointManager::new(opts, SEARCH_KIND));
+
+    for iter in start_iter..=cfg.iterations {
+        // The labeled block gives every early-exit path (no mutation,
+        // duplicate, rule-filtered) a single common continuation: the
+        // per-iteration checkpoint tick below.
+        'body: {
         // Step 1: sample the base graph (original or elite).
         let use_elite = match cfg.policy {
             PolicyKind::SimulatedAnnealing => {
@@ -320,10 +382,11 @@ pub fn run_search(
                     0,
                     &clock,
                     wall_start,
+                    wall_offset,
                 ));
                 gmorph_telemetry::counter!("search.no_mutation");
                 emit_iter(trace.last().unwrap(), temperature, "no_mutation", -1, -1);
-                continue;
+                break 'body;
             }
         };
         let cand_nodes = cand_mini.len() as i64;
@@ -349,6 +412,7 @@ pub fn run_search(
                 0,
                 &clock,
                 wall_start,
+                wall_offset,
             ));
             gmorph_telemetry::counter!("search.duplicates");
             gmorph_telemetry::counter!("search.dedup_hit");
@@ -359,7 +423,7 @@ pub fn run_search(
                 cand_nodes,
                 cand_rescales,
             );
-            continue;
+            break 'body;
         }
         history.record_evaluated(signature);
 
@@ -390,6 +454,7 @@ pub fn run_search(
                 0,
                 &clock,
                 wall_start,
+                wall_offset,
             ));
             gmorph_telemetry::counter!("search.rule_filtered");
             if gmorph_telemetry::enabled() {
@@ -402,7 +467,7 @@ pub fn run_search(
                 cand_nodes,
                 cand_rescales,
             );
-            continue;
+            break 'body;
         }
 
         // Step 3: evaluate (fine-tune) the candidate.
@@ -475,6 +540,7 @@ pub fn run_search(
             evaluation.result.epochs_run,
             &clock,
             wall_start,
+            wall_offset,
         ));
         emit_iter(
             trace.last().unwrap(),
@@ -483,9 +549,42 @@ pub fn run_search(
             cand_nodes,
             cand_rescales,
         );
+        } // 'body
+
+        // Snapshot the completed iteration; the manager decides whether
+        // this one hits the disk now or stays pending (flushed on drop).
+        if let Some(mgr) = manager.as_mut() {
+            let snapshot = SearchSnapshot {
+                state: LoopState {
+                    fingerprint,
+                    next_iter: iter + 1,
+                    rng: rng.state(),
+                    last_drop: policy.last_drop(),
+                    clock_seconds: clock.seconds(),
+                    wall_offset: wall_offset + wall_start.elapsed().as_secs_f64(),
+                    failures: rule_filter.failures().to_vec(),
+                    evaluated: history
+                        .evaluated_signatures()
+                        .into_iter()
+                        .map(str::to_string)
+                        .collect(),
+                    elites: history.elites().to_vec(),
+                },
+                best: best.clone(),
+                evaluated_count: evaluated,
+                rule_filtered,
+                early_terminated,
+                duplicates,
+                trace: trace.clone(),
+            };
+            mgr.tick(iter, snapshot.encode()?)?;
+        }
+        if let Some(opts) = ckpt {
+            opts.maybe_crash(iter);
+        }
     }
 
-    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let wall_seconds = wall_offset + wall_start.elapsed().as_secs_f64();
     gmorph_telemetry::point!(
         "search.done",
         iterations = cfg.iterations,
@@ -593,6 +692,7 @@ fn record(
     epochs: usize,
     clock: &VirtualClock,
     wall_start: Instant,
+    wall_offset: f64,
 ) -> TraceRecord {
     TraceRecord {
         iter,
@@ -604,7 +704,7 @@ fn record(
         best_latency_ms: best.latency_ms,
         epochs,
         virtual_hours: clock.hours(),
-        wall_seconds: wall_start.elapsed().as_secs_f64(),
+        wall_seconds: wall_offset + wall_start.elapsed().as_secs_f64(),
     }
 }
 

@@ -75,6 +75,29 @@ impl History {
         self.evaluated.len()
     }
 
+    /// Evaluated signatures in sorted order.
+    ///
+    /// The dedup set is order-free (membership only), so sorting gives a
+    /// canonical serialization for checkpoints.
+    pub fn evaluated_signatures(&self) -> Vec<&str> {
+        let mut sigs: Vec<&str> = self.evaluated.iter().map(String::as_str).collect();
+        sigs.sort_unstable();
+        sigs
+    }
+
+    /// Reconstructs a history from checkpointed parts.
+    ///
+    /// `elites` must be in their original insertion order: the sampling
+    /// policy indexes into the elite list with the run's RNG, so order is
+    /// part of the deterministic-replay state.
+    pub fn from_parts(evaluated: Vec<String>, elites: Vec<Elite>, max_elites: usize) -> History {
+        History {
+            evaluated: evaluated.into_iter().collect(),
+            elites,
+            max_elites: max_elites.max(1),
+        }
+    }
+
     /// Adds an elite, evicting the slowest one when full.
     pub fn add_elite(&mut self, elite: Elite) {
         if self.elites.len() >= self.max_elites {

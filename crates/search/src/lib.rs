@@ -12,9 +12,13 @@
 //! - [`parallel`]: batch candidate evaluation on worker threads (§7's
 //!   "sampling multiple models in parallel" extension),
 //! - [`persist`]: JSONL persistence of search traces (the Figure 8 run
-//!   artifacts).
+//!   artifacts),
+//! - [`checkpoint`]: crash-safe checkpoint/resume — versioned, checksummed
+//!   snapshots of the full search state, written atomically on a
+//!   durability schedule, restoring bit-identical runs (DESIGN.md §12).
 
 pub mod batched;
+pub mod checkpoint;
 pub mod driver;
 pub mod evaluator;
 pub mod history;
@@ -22,8 +26,11 @@ pub mod parallel;
 pub mod persist;
 pub mod policy;
 
-pub use batched::{run_search_batched, BatchedResult};
-pub use driver::{run_search, SearchConfig, SearchResult, TraceRecord};
+pub use batched::{run_search_batched, run_search_batched_checkpointed, BatchedResult};
+pub use checkpoint::{CheckpointManager, CheckpointOptions, CrashKind};
+pub use driver::{
+    run_search, run_search_checkpointed, SearchConfig, SearchResult, TraceRecord,
+};
 pub use persist::{load_trace, save_trace, TraceMeta};
 pub use evaluator::{EvalMode, RealContext, SurrogateContext};
 pub use history::{Elite, History};

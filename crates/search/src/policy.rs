@@ -59,6 +59,16 @@ impl SimulatedAnnealing {
         self.last_drop = drop.clamp(0.0, 1.0);
     }
 
+    /// The most recent observed drop `Δ` (checkpointed search state).
+    pub fn last_drop(&self) -> f32 {
+        self.last_drop
+    }
+
+    /// Restores the observed drop bit-exactly from a checkpoint.
+    pub fn restore_last_drop(&mut self, drop: f32) {
+        self.last_drop = drop;
+    }
+
     /// Current temperature `Tc = Ti · α^iter`.
     pub fn temperature(&self, iter: usize) -> f32 {
         self.initial_temp * self.alpha.powi(iter as i32)

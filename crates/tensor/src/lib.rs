@@ -13,6 +13,8 @@
 //! - [`ops`]: activations, softmax, and reductions,
 //! - [`rng`]: deterministic seeded random number utilities,
 //! - [`serialize`]: a tiny binary format for weight caching,
+//! - [`checkpoint`]: a versioned, checksummed, atomically-written envelope
+//!   for crash-safe snapshots of long-running jobs,
 //! - [`engine`]: the shared worker pool that kernels dispatch onto.
 //!
 //! Hot kernels (GEMM, convolution, pooling, large elementwise ops) run on a
@@ -21,6 +23,7 @@
 //! a fixed order, so results are bit-identical across thread counts.
 
 pub mod buffer;
+pub mod checkpoint;
 pub mod conv;
 pub mod engine;
 pub mod gemm;

@@ -123,6 +123,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Captures the complete generator state (key, block counter,
+        /// buffered keystream, and read cursor) so a checkpointed process
+        /// can resume the stream bit-exactly.
+        pub fn state(&self) -> ([u32; 8], u64, [u32; 16], usize) {
+            (self.key, self.counter, self.buf, self.index)
+        }
+
+        /// Reconstructs a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(key: [u32; 8], counter: u64, buf: [u32; 16], index: usize) -> Self {
+            StdRng {
+                key,
+                counter,
+                buf,
+                index: index.min(16),
+            }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             if self.index == 16 {

@@ -133,6 +133,183 @@ fn saving_into_unwritable_location_is_nonfatal_for_cache() {
     std::env::remove_var("GMORPH_CACHE_DIR");
 }
 
+/// Corrupted checkpoint scenarios. Each one damages the *newest*
+/// snapshot in a populated checkpoint directory and asserts the resume
+/// (a) never panics, (b) lands on the same final result as an
+/// uninterrupted run (fallback to the older snapshot, or a fresh start,
+/// replays deterministically), and (c) bumps the `checkpoint.corrupt`
+/// counter where the damage is detectable as corruption.
+#[test]
+fn corrupted_checkpoints_fall_back_never_panic() {
+    use gmorph::search::checkpoint::{SEARCH_KIND, SEARCH_SCHEMA};
+    use gmorph::search::driver::run_search_checkpointed;
+    use gmorph::search::CheckpointOptions;
+    use gmorph::telemetry::metrics::counter_value;
+    use gmorph::telemetry::sink::install_test_sink;
+    use gmorph::tensor::checkpoint::Envelope;
+
+    let bench = build_benchmark(BenchId::B1, &DataProfile::smoke(), 905).unwrap();
+    let session = Session::prepare(
+        bench,
+        &SessionConfig {
+            teacher: TrainConfig {
+                epochs: 1,
+                batch: 32,
+                lr: 3e-3,
+                seed: 7,
+            },
+            seed: 7,
+            use_cache: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cfg = OptimizationConfig {
+        iterations: 16,
+        seed: 7,
+        ..Default::default()
+    }
+    .to_search_config();
+    let mode = session.eval_mode(AccuracyMode::Surrogate).unwrap();
+    let run = |ckpt: Option<&CheckpointOptions>| {
+        run_search_checkpointed(
+            &session.mini_graph,
+            &session.paper_graph,
+            &session.weights,
+            &mode,
+            &cfg,
+            ckpt,
+        )
+    };
+    let reference = run(None).unwrap();
+    // Non-vacuous scenario: elites and an improved best exist, so the
+    // fallback replay exercises the full state restoration.
+    assert!(reference.speedup > 1.0, "scenario found nothing: useless");
+
+    let snapshots_in = |dir: &std::path::Path| -> Vec<std::path::PathBuf> {
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "gmck"))
+            .collect();
+        files.sort();
+        files
+    };
+
+    #[derive(Clone, Copy, Debug)]
+    enum Damage {
+        Truncate,
+        FlipHeaderByte,
+        FlipPayloadByte,
+        StaleSchema,
+        TmpLeftover,
+        AllCorrupt,
+    }
+    for damage in [
+        Damage::Truncate,
+        Damage::FlipHeaderByte,
+        Damage::FlipPayloadByte,
+        Damage::StaleSchema,
+        Damage::TmpLeftover,
+        Damage::AllCorrupt,
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "gmorph-ckpt-corrupt-{damage:?}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Populate the directory by running to completion with
+        // per-iteration snapshots (keep=2 → the last two survive).
+        let mut opts = CheckpointOptions::new(&dir);
+        opts.every = 1;
+        run(Some(&opts)).unwrap();
+        let files = snapshots_in(&dir);
+        assert_eq!(files.len(), 2, "{damage:?}: rotation should keep 2");
+        let newest = files.last().unwrap().clone();
+
+        let corruption_expected = match damage {
+            Damage::Truncate => {
+                let bytes = std::fs::read(&newest).unwrap();
+                std::fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+                true
+            }
+            Damage::FlipHeaderByte => {
+                let mut bytes = std::fs::read(&newest).unwrap();
+                bytes[2] ^= 0xFF; // Inside the magic number.
+                std::fs::write(&newest, bytes).unwrap();
+                true
+            }
+            Damage::FlipPayloadByte => {
+                let mut bytes = std::fs::read(&newest).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x01; // CRC-covered body.
+                std::fs::write(&newest, bytes).unwrap();
+                true
+            }
+            Damage::StaleSchema => {
+                // A well-formed envelope from a future schema version.
+                let env = Envelope::new(SEARCH_KIND, SEARCH_SCHEMA + 7);
+                std::fs::write(&newest, env.encode()).unwrap();
+                true
+            }
+            Damage::TmpLeftover => {
+                // A half-written staging file from a crashed writer. The
+                // loader must never even consider it.
+                let tmp = dir.join("search-000099.gmck.tmp");
+                std::fs::write(&tmp, b"half-written garbage").unwrap();
+                false
+            }
+            Damage::AllCorrupt => {
+                for f in &files {
+                    let bytes = std::fs::read(f).unwrap();
+                    std::fs::write(f, &bytes[..bytes.len() / 2]).unwrap();
+                }
+                true
+            }
+        };
+
+        let guard = install_test_sink();
+        let mut resume = CheckpointOptions::new(&dir);
+        resume.every = 1;
+        resume.resume = true;
+        let resumed = run(Some(&resume)).unwrap(); // Must not panic or error.
+        let corrupt_count = counter_value("checkpoint.corrupt");
+        drop(guard);
+
+        if corruption_expected {
+            assert!(corrupt_count >= 1, "{damage:?}: corruption not counted");
+        } else {
+            assert_eq!(corrupt_count, 0, "{damage:?}: spurious corruption");
+        }
+        // Whatever snapshot (or fresh start) the fallback landed on, the
+        // deterministic replay must reach the uninterrupted result.
+        assert_eq!(
+            resumed.best.mini.signature(),
+            reference.best.mini.signature(),
+            "{damage:?}: best graph"
+        );
+        assert_eq!(
+            resumed.best.latency_ms.to_bits(),
+            reference.best.latency_ms.to_bits(),
+            "{damage:?}: best latency"
+        );
+        assert_eq!(
+            resumed.speedup.to_bits(),
+            reference.speedup.to_bits(),
+            "{damage:?}: speedup"
+        );
+        assert_eq!(
+            resumed.trace.len(),
+            reference.trace.len(),
+            "{damage:?}: trace length"
+        );
+        assert_eq!(resumed.evaluated, reference.evaluated, "{damage:?}: evaluated");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn config_file_attack_surface() {
     use gmorph::configfile::parse;

@@ -152,6 +152,186 @@ proptest! {
     }
 }
 
+// --- Checkpoint invariants (DESIGN.md §12) ---
+
+use gmorph::search::driver::run_search_checkpointed;
+use gmorph::search::evaluator::EvalMode;
+use gmorph::search::{CheckpointOptions, CrashKind};
+use gmorph::tensor::checkpoint::Envelope;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+fn checkpoint_session(bench_id: BenchId, seed: u64) -> (Session, EvalMode, SearchResult) {
+    let bench = build_benchmark(bench_id, &DataProfile::smoke(), seed).unwrap();
+    let session = Session::prepare(
+        bench,
+        &SessionConfig {
+            teacher: gmorph::models::train::TrainConfig {
+                epochs: 1,
+                batch: 32,
+                lr: 3e-3,
+                seed,
+            },
+            seed,
+            use_cache: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mode = session.eval_mode(AccuracyMode::Surrogate).unwrap();
+    let mut cfg = OptimizationConfig {
+        iterations: 10,
+        seed,
+        ..Default::default()
+    }
+    .to_search_config();
+    cfg.virtual_throughput = session.virtual_throughput;
+    let reference = run_search_checkpointed(
+        &session.mini_graph,
+        &session.paper_graph,
+        &session.weights,
+        &mode,
+        &cfg,
+        None,
+    )
+    .unwrap();
+    (session, mode, reference)
+}
+
+static B1_FIX: OnceLock<(Session, EvalMode, SearchResult)> = OnceLock::new();
+static B3_FIX: OnceLock<(Session, EvalMode, SearchResult)> = OnceLock::new();
+
+fn resume_matches_reference(bench_id: BenchId, interrupt: usize, tag: &str) -> Result<(), String> {
+    let (session, mode, reference) = match bench_id {
+        BenchId::B1 => B1_FIX.get_or_init(|| checkpoint_session(BenchId::B1, 17)),
+        _ => B3_FIX.get_or_init(|| checkpoint_session(BenchId::B3, 18)),
+    };
+    let mut cfg = OptimizationConfig {
+        iterations: 10,
+        seed: session.seed,
+        ..Default::default()
+    }
+    .to_search_config();
+    cfg.virtual_throughput = session.virtual_throughput;
+
+    let dir = std::env::temp_dir().join(format!(
+        "gmorph-prop-resume-{tag}-{interrupt}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut opts = CheckpointOptions::new(&dir);
+    opts.every = 1;
+    opts.crash_after = Some((interrupt, CrashKind::Panic));
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        run_search_checkpointed(
+            &session.mini_graph,
+            &session.paper_graph,
+            &session.weights,
+            mode,
+            &cfg,
+            Some(&opts),
+        )
+    }));
+    if crashed.is_ok() {
+        return Err(format!("injected crash at {interrupt} did not fire"));
+    }
+    let mut resume = CheckpointOptions::new(&dir);
+    resume.every = 1;
+    resume.resume = true;
+    let resumed = run_search_checkpointed(
+        &session.mini_graph,
+        &session.paper_graph,
+        &session.weights,
+        mode,
+        &cfg,
+        Some(&resume),
+    )
+    .map_err(|e| format!("resume failed: {e}"))?;
+    std::fs::remove_dir_all(&dir).ok();
+
+    if resumed.best.mini.signature() != reference.best.mini.signature() {
+        return Err("best graph diverged after resume".to_string());
+    }
+    if resumed.best.latency_ms.to_bits() != reference.best.latency_ms.to_bits() {
+        return Err("best latency diverged after resume".to_string());
+    }
+    if resumed.evaluated != reference.evaluated
+        || resumed.duplicates != reference.duplicates
+        || resumed.trace.len() != reference.trace.len()
+    {
+        return Err("counters/trace diverged after resume".to_string());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The checkpoint envelope is a bijection: encode→decode is the
+    /// identity on (kind, schema, sections) for arbitrary payloads, so
+    /// no snapshot content can be silently altered by a round trip.
+    #[test]
+    fn checkpoint_envelope_roundtrips(
+        schema in 0u32..1000,
+        name_seed in 0u64..1_000_000,
+        payload in proptest::collection::vec(0u8..=255u8, 0..256),
+        n_sections in 1usize..6,
+    ) {
+        let mut env = Envelope::new("prop", schema);
+        for i in 0..n_sections {
+            // Distinct names; contents shifted per section.
+            let bytes: Vec<u8> =
+                payload.iter().map(|b| b.wrapping_add(i as u8)).collect();
+            env.push(&format!("s{name_seed}-{i}"), bytes);
+        }
+        let bytes = env.encode();
+        let back = Envelope::decode(&bytes)
+            .map_err(|e| format!("decode failed: {e}"))?;
+        prop_assert_eq!(&back.kind, &env.kind);
+        prop_assert_eq!(back.schema, env.schema);
+        prop_assert_eq!(&back.sections, &env.sections);
+        // Canonical encoding: re-encoding reproduces the exact bytes.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Any single corrupting byte-flip anywhere in an encoded envelope
+    /// is detected: decode either errors or (for flips inside section
+    /// *names* only) cannot alter section payloads unnoticed — the CRC
+    /// covers the entire body.
+    #[test]
+    fn envelope_detects_any_single_bit_flip(
+        offset_seed in 0u64..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut env = Envelope::new("prop", 3);
+        env.push("data", vec![7u8; 64]);
+        let mut bytes = env.encode();
+        let offset = (offset_seed as usize) % bytes.len();
+        bytes[offset] ^= 1 << bit;
+        // Every flip lands in magic, format, length, CRC, or the
+        // CRC-covered body — all detected.
+        prop_assert!(Envelope::decode(&bytes).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Resuming a B1 search killed at a random iteration reproduces the
+    /// uninterrupted run.
+    #[test]
+    fn b1_resume_at_random_iteration_matches(interrupt in 1usize..10) {
+        resume_matches_reference(BenchId::B1, interrupt, "b1")?;
+    }
+
+    /// Same for B3 (three heterogeneous tasks).
+    #[test]
+    fn b3_resume_at_random_iteration_matches(interrupt in 1usize..10) {
+        resume_matches_reference(BenchId::B3, interrupt, "b3")?;
+    }
+}
+
 #[test]
 fn serving_tasks_cover_every_head_path() {
     let g = b3_graph();
