@@ -6,6 +6,8 @@
 //!                 [--batch-size K] [--throughput FLOPS] [--render]
 //!                 [--trace PATH] [--quiet]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
+//!                 [--max-retries N] [--candidate-deadline-ms MS]
+//!                 [--grad-clip NORM]
 //! gmorph benchmarks
 //! gmorph baselines --bench B1
 //! gmorph trace-validate PATH
@@ -54,6 +56,9 @@ struct Cli {
     checkpoint_dir: Option<std::path::PathBuf>,
     checkpoint_every: Option<usize>,
     resume: bool,
+    max_retries: Option<usize>,
+    candidate_deadline_ms: Option<u64>,
+    grad_clip: Option<f32>,
     /// Positional arguments (files for `trace-validate` / `trace-diff`).
     target: Option<std::path::PathBuf>,
     target2: Option<std::path::PathBuf>,
@@ -88,6 +93,9 @@ fn parse_cli() -> Result<Cli, String> {
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,
+        max_retries: None,
+        candidate_deadline_ms: None,
+        grad_clip: None,
         target: None,
         target2: None,
     };
@@ -135,6 +143,24 @@ fn parse_cli() -> Result<Cli, String> {
                 )
             }
             "--resume" => cli.resume = true,
+            "--max-retries" => {
+                cli.max_retries =
+                    Some(take("--max-retries")?.parse().map_err(|_| "bad max-retries")?)
+            }
+            "--candidate-deadline-ms" => {
+                cli.candidate_deadline_ms = Some(
+                    take("--candidate-deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad candidate-deadline-ms")?,
+                )
+            }
+            "--grad-clip" => {
+                let v: f32 = take("--grad-clip")?.parse().map_err(|_| "bad grad-clip")?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err("grad-clip must be a positive finite norm".to_string());
+                }
+                cli.grad_clip = Some(v);
+            }
             other if !other.starts_with('-') && cli.target.is_none() => {
                 cli.target = Some(other.into());
             }
@@ -233,6 +259,15 @@ fn cmd_optimize(cli: &Cli) -> Result<(), String> {
         cfg.checkpoint_every = k;
     }
     cfg.resume = cfg.resume || cli.resume;
+    if let Some(n) = cli.max_retries {
+        cfg.max_retries = n;
+    }
+    if let Some(ms) = cli.candidate_deadline_ms {
+        cfg.candidate_deadline_ms = Some(ms);
+    }
+    if let Some(c) = cli.grad_clip {
+        cfg.grad_clip = Some(c);
+    }
 
     say!(cli, "preparing {bench_id} (teachers train once, then cache)...");
     let bench = build_benchmark(bench_id, &DataProfile::standard(), cfg.seed)
@@ -348,6 +383,8 @@ fn cmd_checkpoint_inspect(cli: &Cli) -> Result<(), String> {
             println!("  evaluated     {}", snap.evaluated_count);
             println!("  rule filtered {}", snap.rule_filtered);
             println!("  duplicates    {}", snap.duplicates);
+            println!("  failed        {}", snap.failed);
+            println!("  quarantined   {}", snap.quarantined_count);
             println!("  elites        {}", snap.state.elites.len());
             println!("  best latency  {:.3} ms", snap.best.latency_ms);
             println!("  virtual hours {:.4}", snap.state.clock_seconds / 3600.0);

@@ -2,9 +2,12 @@
 
 use gmorph_graph::pairs::PairPolicy;
 use gmorph_models::train::TrainConfig;
+use gmorph_nn::health::HealthConfig;
 use gmorph_perf::accuracy::FinetuneConfig;
 use gmorph_search::driver::{Objective, SearchConfig};
 use gmorph_search::policy::PolicyKind;
+use gmorph_search::supervisor::SupervisorConfig;
+use gmorph_tensor::FaultSpec;
 
 /// How candidate accuracy is estimated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +144,18 @@ pub struct OptimizationConfig {
     /// Resume from the newest valid checkpoint in `checkpoint_dir` whose
     /// config fingerprint matches.
     pub resume: bool,
+    /// Bounded retries for transiently failing candidates (panic or
+    /// non-finite): each retry reseeds the initialization and backs off
+    /// the learning rate.
+    pub max_retries: usize,
+    /// Per-candidate wall-clock deadline in milliseconds (`None`
+    /// disables; wall deadlines are machine-dependent and so off by
+    /// default).
+    pub candidate_deadline_ms: Option<u64>,
+    /// Global-norm gradient clipping threshold for candidate fine-tuning
+    /// (`None` disables clipping — the default, preserving bit-exact
+    /// behavior of earlier versions).
+    pub grad_clip: Option<f32>,
 }
 
 impl Default for OptimizationConfig {
@@ -164,6 +179,9 @@ impl Default for OptimizationConfig {
             checkpoint_dir: None,
             checkpoint_every: 4,
             resume: false,
+            max_retries: 2,
+            candidate_deadline_ms: None,
+            grad_clip: None,
         }
     }
 }
@@ -199,10 +217,25 @@ impl OptimizationConfig {
                 task_weights: Vec::new(),
                 early_termination: self.early_termination,
                 seed: self.seed,
+                health: HealthConfig {
+                    grad_clip: self.grad_clip,
+                    ..HealthConfig::default()
+                },
+                wall_deadline_ms: self.candidate_deadline_ms,
+                inject: None,
             },
             virtual_samples: 20_000,
             virtual_throughput: gmorph_perf::clock::DEFAULT_THROUGHPUT,
             seed: self.seed,
+            supervisor: SupervisorConfig {
+                max_retries: self.max_retries,
+                candidate_deadline_ms: self.candidate_deadline_ms,
+                // Fault injection comes from the environment only, read
+                // once here at configuration time (the CI fault-smoke
+                // hook, mirroring GMORPH_CRASH_AFTER).
+                fault: FaultSpec::from_env(),
+                ..SupervisorConfig::default()
+            },
         }
     }
 
@@ -246,5 +279,25 @@ mod tests {
         assert_eq!(sc.iterations, 77);
         assert_eq!(sc.finetune.max_epochs, 9);
         assert!((sc.finetune.target_drop - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resilience_knobs_lower_into_supervisor_and_health() {
+        let cfg = OptimizationConfig {
+            max_retries: 5,
+            candidate_deadline_ms: Some(750),
+            grad_clip: Some(2.5),
+            ..Default::default()
+        };
+        let sc = cfg.to_search_config();
+        assert_eq!(sc.supervisor.max_retries, 5);
+        assert_eq!(sc.supervisor.candidate_deadline_ms, Some(750));
+        assert_eq!(sc.finetune.wall_deadline_ms, Some(750));
+        assert_eq!(sc.finetune.health.grad_clip, Some(2.5));
+        assert_eq!(sc.finetune.inject, None);
+        // The default stays inert so clean runs remain bit-identical.
+        let default = OptimizationConfig::default().to_search_config();
+        assert_eq!(default.finetune.health.grad_clip, None);
+        assert_eq!(default.supervisor.candidate_deadline_ms, None);
     }
 }

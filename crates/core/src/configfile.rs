@@ -125,6 +125,20 @@ pub fn parse(text: &str) -> Result<OptimizationConfig> {
             "max_ops_per_pass" => cfg.max_ops_per_pass = int("max_ops_per_pass")?,
             "sa_alpha" => cfg.sa_alpha = num("sa_alpha")?,
             "seed" => cfg.seed = int("seed")? as u64,
+            "max_retries" => cfg.max_retries = int("max_retries")?,
+            "candidate_deadline_ms" => {
+                cfg.candidate_deadline_ms = Some(int("candidate_deadline_ms")? as u64)
+            }
+            "grad_clip" => {
+                let v = num("grad_clip")?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(bad(
+                        line_no,
+                        format!("grad_clip expects a positive finite norm, got {value:?}"),
+                    ));
+                }
+                cfg.grad_clip = Some(v);
+            }
             other => return Err(bad(line_no, format!("unknown key {other:?}"))),
         }
     }

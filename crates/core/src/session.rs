@@ -138,14 +138,26 @@ impl Session {
         let mode = self.eval_mode(cfg.mode)?;
         let mut search_cfg = cfg.to_search_config();
         search_cfg.virtual_throughput = self.virtual_throughput;
-        run_search_checkpointed(
+        let result = run_search_checkpointed(
             &self.mini_graph,
             &self.paper_graph,
             &self.weights,
             &mode,
             &search_cfg,
             cfg.checkpoint_options().as_ref(),
-        )
+        )?;
+        // Surface failure containment at the session level: a run that
+        // quarantined candidates still completed, but the operator should
+        // see how much of the budget went to failures.
+        if result.failed > 0 || result.quarantined > 0 {
+            gmorph_telemetry::point!(
+                "session.resilience",
+                failed = result.failed,
+                quarantined = result.quarantined,
+                iterations = result.trace.len()
+            );
+        }
+        Ok(result)
     }
 
     /// Estimated paper-scale latency of the original multi-DNNs.

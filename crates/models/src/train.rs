@@ -8,6 +8,7 @@
 use crate::model::SingleTaskModel;
 use gmorph_data::metrics;
 use gmorph_data::{Labels, LossKind, MultiTaskDataset};
+use gmorph_nn::health;
 use gmorph_nn::loss::{bce_with_logits, cross_entropy};
 use gmorph_nn::optim::Optim;
 use gmorph_nn::Mode;
@@ -306,7 +307,11 @@ pub fn train_teacher_checkpointed(
         for batch in train.batch_indices(cfg.batch, &mut rng) {
             let x = train.inputs.select_rows(&batch)?;
             let y = model.forward(&x, Mode::Train)?;
-            let (_, grad) = batch_loss(&y, &train.labels[task_idx], task.loss, &batch)?;
+            let (loss, grad) = batch_loss(&y, &train.labels[task_idx], task.loss, &batch)?;
+            // A non-finite teacher loss means the run is unsalvageable:
+            // fail loudly with a structured event rather than silently
+            // optimizing on NaN for the remaining epochs.
+            health::check_loss("teacher.train", loss)?;
             model.backward(&grad)?;
             opt.begin_step();
             model.visit_params(&mut |p| opt.update(p));

@@ -130,6 +130,15 @@ impl MultiHeadAttention {
             }
         }
         let y2 = self.wo.forward(&ctx, mode)?;
+        // Report-only numeric health: softmax over diverged scores is the
+        // usual place NaNs first surface in a transformer, so a violation
+        // here is a structured eval.health event (debug and release alike),
+        // never an assert — the supervisor decides containment.
+        crate::health::observe_slice(
+            crate::health::NumericCheck::Activation,
+            "MultiHeadAttention::forward",
+            y2.data(),
+        );
         if mode == Mode::Train {
             self.cache = Some(AttnCache { q, k, v, probs, n, t });
         }

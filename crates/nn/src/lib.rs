@@ -9,7 +9,9 @@
 //!   abstract graph represents and graph mutation rearranges,
 //! - optimizers ([`optim`]) and losses ([`loss`]), including the weighted
 //!   ℓ1 distillation loss of §5.2,
-//! - weight initialization schemes ([`init`]).
+//! - weight initialization schemes ([`init`]),
+//! - numeric-health supervision ([`health`]): gradient clipping,
+//!   non-finite detection, and divergence policy for fine-tune loops.
 //!
 //! Layers cache whatever the backward pass needs during `forward`, so the
 //! call protocol is strictly `forward` then (optionally) `backward` on the
@@ -17,6 +19,7 @@
 //! enforced here by construction of the training loops.
 
 pub mod block;
+pub mod health;
 pub mod init;
 pub mod layers;
 pub mod loss;

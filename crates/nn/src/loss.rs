@@ -4,7 +4,13 @@
 //! from all tasks, where each loss is the ℓ1 distance between the
 //! multi-task model's output features and the single-task model's output
 //! features" — is [`weighted_l1_multi`].
+//!
+//! Every loss reports a non-finite result through the numeric-health layer
+//! ([`crate::health::observe_loss`]) — a structured `eval.health` event in
+//! release builds, never a panic — so a divergent candidate is visible to
+//! the search supervisor the step it diverges.
 
+use crate::health;
 use gmorph_tensor::ops::softmax_rows;
 use gmorph_tensor::{Result, Tensor, TensorError};
 
@@ -33,6 +39,7 @@ pub fn l1_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
             0.0
         } / n;
     }
+    health::observe_loss("l1_loss", loss / n);
     Ok((loss / n, grad))
 }
 
@@ -53,6 +60,7 @@ pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
         loss += d * d;
         grad.data_mut()[i] = 2.0 * d / n;
     }
+    health::observe_loss("mse_loss", loss / n);
     Ok((loss / n, grad))
 }
 
@@ -89,6 +97,7 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)>
     }
     let inv = 1.0 / n as f32;
     grad.scale_in_place(inv);
+    health::observe_loss("cross_entropy", loss * inv);
     Ok((loss * inv, grad))
 }
 
@@ -113,6 +122,7 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> Result<(f32, Tensor
         let p = 1.0 / (1.0 + (-x).exp());
         grad.data_mut()[i] = (p - t) / n;
     }
+    health::observe_loss("bce_with_logits", loss / n);
     Ok((loss / n, grad))
 }
 
@@ -145,6 +155,7 @@ pub fn weighted_l1_multi(
         g.scale_in_place(w);
         grads.push(g);
     }
+    health::observe_loss("weighted_l1_multi", total);
     Ok((total, grads))
 }
 

@@ -16,11 +16,12 @@
 use crate::filter::ConvergencePredictor;
 use gmorph_data::{metrics, MultiTaskDataset};
 use gmorph_graph::{AbsGraph, CapacityVector, TreeModel};
+use gmorph_nn::health::{self, GradVerdict, HealthConfig};
 use gmorph_nn::loss::weighted_l1_multi;
 use gmorph_nn::optim::Optim;
 use gmorph_nn::Mode;
 use gmorph_tensor::rng::Rng;
-use gmorph_tensor::{Result, Tensor, TensorError};
+use gmorph_tensor::{error, FaultKind, Result, Tensor, TensorError};
 
 /// Fine-tuning configuration (the paper's optimization parameters, §6.1).
 #[derive(Debug, Clone)]
@@ -42,6 +43,19 @@ pub struct FinetuneConfig {
     pub early_termination: bool,
     /// Seed for shuffling.
     pub seed: u64,
+    /// Numeric-health supervision: gradient clipping, non-finite
+    /// detection, and divergence policy (see [`gmorph_nn::health`]).
+    pub health: HealthConfig,
+    /// Per-candidate wall-clock deadline. A fine-tune run past this
+    /// budget halts with a classified timeout (checked at epoch
+    /// boundaries). `None` disables the check — the default, because
+    /// wall-clock outcomes are machine-dependent and resume replays must
+    /// stay bit-exact unless the user opts in.
+    pub wall_deadline_ms: Option<u64>,
+    /// Fault injection for resilience testing: poisons this run per the
+    /// given mode. Set by the supervisor from `GMORPH_FAULT`; never by
+    /// ordinary code paths.
+    pub inject: Option<FaultKind>,
 }
 
 impl Default for FinetuneConfig {
@@ -55,6 +69,9 @@ impl Default for FinetuneConfig {
             task_weights: Vec::new(),
             early_termination: false,
             seed: 0,
+            health: HealthConfig::default(),
+            wall_deadline_ms: None,
+            inject: None,
         }
     }
 }
@@ -190,7 +207,28 @@ pub fn finetune(
     );
     gmorph_telemetry::counter!("finetune.runs");
 
+    let started = std::time::Instant::now();
     'outer: for epoch in 1..=cfg.max_epochs {
+        // Deadline and OOM guards run at epoch boundaries: cheap, and a
+        // pathological candidate is caught within one epoch of tripping.
+        if let Some(ms) = cfg.wall_deadline_ms {
+            let elapsed = started.elapsed().as_millis() as u64;
+            if elapsed > ms {
+                return Err(error::timeout(
+                    "finetune",
+                    format!("wall deadline {ms}ms exceeded ({elapsed}ms) before epoch {epoch}"),
+                ));
+            }
+        }
+        if let Some((served, budget)) = gmorph_tensor::buffer::budget_exceeded() {
+            return Err(error::oom_guard(
+                "finetune",
+                format!("pool byte budget {budget} exceeded ({served} served) before epoch {epoch}"),
+            ));
+        }
+        if cfg.inject == Some(FaultKind::SlowCandidate) {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
         let mut ix: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut ix);
         for chunk in ix.chunks(cfg.batch.max(1)) {
@@ -200,10 +238,47 @@ pub fn finetune(
                 .iter()
                 .map(|t| t.select_rows(chunk))
                 .collect::<Result<Vec<_>>>()?;
-            let (_, grads) = weighted_l1_multi(&ys, &batch_targets, &weights)?;
+            let (mut loss, mut grads) = weighted_l1_multi(&ys, &batch_targets, &weights)?;
+            match cfg.inject {
+                Some(FaultKind::NanLoss) => {
+                    loss = f32::NAN;
+                    for g in &mut grads {
+                        g.data_mut().fill(f32::NAN);
+                    }
+                }
+                Some(FaultKind::GradExplode) => {
+                    for g in &mut grads {
+                        for v in g.data_mut() {
+                            *v *= 1e30;
+                        }
+                    }
+                }
+                Some(FaultKind::PanicEval) => {
+                    panic!("GMORPH_FAULT: injected panic in finetune epoch {epoch}");
+                }
+                _ => {}
+            }
+            health::check_loss("finetune", loss)?;
             model.backward(&grads)?;
-            opt.begin_step();
-            model.visit_params(&mut |p| opt.update(p));
+            // Global gradient norm: doubles as a whole-model non-finite
+            // probe (any NaN grad makes the norm NaN) and feeds clipping.
+            let mut sq = 0f64;
+            model.visit_params(&mut |p| sq += health::grad_sq_sum(p));
+            match health::grad_verdict(&cfg.health, "finetune", sq.sqrt() as f32) {
+                GradVerdict::Ok => {
+                    opt.begin_step();
+                    model.visit_params(&mut |p| opt.update(p));
+                }
+                GradVerdict::Clip(scale) => {
+                    model.visit_params(&mut |p| health::scale_grad(p, scale));
+                    opt.begin_step();
+                    model.visit_params(&mut |p| opt.update(p));
+                }
+                GradVerdict::AbortStep => {
+                    model.visit_params(&mut |p| p.zero_grad());
+                }
+                GradVerdict::Halt(event) => return Err(event.to_error()),
+            }
         }
         epochs_run = epoch;
         if epoch % cfg.eval_every.max(1) == 0 || epoch == cfg.max_epochs {
@@ -255,6 +330,9 @@ pub fn finetune(
             (drop, scores)
         }
     };
+    // A non-finite drop means the scores themselves diverged even though
+    // every step's loss stayed finite — still a halt-worthy candidate.
+    health::check_loss("finetune", final_drop)?;
     Ok(FinetuneResult {
         met_target: final_drop <= cfg.target_drop,
         final_drop,
@@ -383,7 +461,21 @@ pub fn surrogate_finetune(
     noise_salt: u64,
     teacher_scores: &[f32],
 ) -> Result<FinetuneResult> {
-    let asymptote = surrogate_asymptote(candidate, original, params, noise_salt)?;
+    let mut asymptote = surrogate_asymptote(candidate, original, params, noise_salt)?;
+    match cfg.inject {
+        // Poisoned analytic curve: the same non-finite detection that
+        // protects the real path must catch it.
+        Some(FaultKind::NanLoss) => asymptote = f32::NAN,
+        Some(FaultKind::GradExplode) => asymptote = f32::INFINITY,
+        // Stall long enough for the supervisor's wall-clock deadline.
+        Some(FaultKind::SlowCandidate) => {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+        Some(FaultKind::PanicEval) => {
+            panic!("GMORPH_FAULT: injected panic in surrogate evaluation");
+        }
+        None => {}
+    }
     // Initial drop right after mutation: a margin above the asymptote
     // that shrinks as more weights are inherited (fine-tuning can only
     // recover *toward* the architecture's asymptote, never below it).
@@ -455,6 +547,7 @@ pub fn surrogate_finetune(
         gmorph_telemetry::counter!("finetune.early_terminated");
     }
     let last = records.last().expect("at least one record");
+    health::check_loss("surrogate_finetune", last.drop)?;
     Ok(FinetuneResult {
         met_target: last.drop <= cfg.target_drop,
         final_drop: last.drop,
@@ -699,6 +792,36 @@ mod tests {
         .unwrap();
         for w in r.records.windows(2) {
             assert!(w[1].drop <= w[0].drop + 1e-5);
+        }
+    }
+
+    #[test]
+    fn surrogate_injection_classifies_as_non_finite() {
+        let (orig, aggressive) = toy_graph_pair();
+        let cv = CapacityVector::of(&orig).unwrap();
+        for kind in [FaultKind::NanLoss, FaultKind::GradExplode] {
+            let cfg = FinetuneConfig {
+                max_epochs: 8,
+                eval_every: 1,
+                target_drop: 0.02,
+                inject: Some(kind),
+                ..Default::default()
+            };
+            let err = surrogate_finetune(
+                &aggressive,
+                &cv,
+                0.5,
+                &SurrogateParams::default(),
+                &cfg,
+                7,
+                &[0.8, 0.8],
+            )
+            .unwrap_err();
+            assert_eq!(
+                error::classify(&err),
+                gmorph_tensor::FailureKind::NonFinite,
+                "{kind:?}"
+            );
         }
     }
 

@@ -10,6 +10,10 @@ pub enum FilterVerdict {
     ExactMatch,
     /// The candidate shares strictly more capacity than a recorded failure.
     MoreAggressive,
+    /// The candidate is structurally similar (same capacity or more
+    /// aggressive) to a quarantined repeat offender — a graph whose
+    /// evaluation failed (NaN, panic, timeout) past its retry budget.
+    Quarantined,
 }
 
 impl FilterVerdict {
@@ -18,6 +22,7 @@ impl FilterVerdict {
         match self {
             FilterVerdict::ExactMatch => "exact",
             FilterVerdict::MoreAggressive => "more_aggressive",
+            FilterVerdict::Quarantined => "quarantined",
         }
     }
 }
@@ -29,9 +34,17 @@ impl FilterVerdict {
 /// are also non-promising." The filter records the capacity vectors of
 /// failed candidates; a new candidate is skipped (never fine-tuned) when
 /// it is more aggressive than any recorded failure.
+///
+/// The filter also holds the supervisor's **quarantine list**: graph
+/// signatures (plus their capacity vectors) of candidates whose evaluation
+/// failed past the retry budget. Unlike accuracy failures — which only
+/// apply when the user opts into rule filtering — quarantine checks are
+/// always consulted by the search driver, because re-evaluating a graph
+/// that reliably NaNs or times out is never useful.
 #[derive(Debug, Clone, Default)]
 pub struct CapacityRuleFilter {
     failures: Vec<CapacityVector>,
+    quarantined: Vec<(String, CapacityVector)>,
 }
 
 impl CapacityRuleFilter {
@@ -57,7 +70,51 @@ impl CapacityRuleFilter {
 
     /// Rebuilds a filter from checkpointed failures, preserving order.
     pub fn from_failures(failures: Vec<CapacityVector>) -> Self {
-        CapacityRuleFilter { failures }
+        CapacityRuleFilter {
+            failures,
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a filter from checkpointed failures and quarantine
+    /// entries, preserving order (resume must replay bit-exactly).
+    pub fn from_parts(
+        failures: Vec<CapacityVector>,
+        quarantined: Vec<(String, CapacityVector)>,
+    ) -> Self {
+        CapacityRuleFilter {
+            failures,
+            quarantined,
+        }
+    }
+
+    /// Quarantine entries in insertion order (checkpointed search state).
+    pub fn quarantined(&self) -> &[(String, CapacityVector)] {
+        &self.quarantined
+    }
+
+    /// Adds a repeat offender to the quarantine list. Idempotent per
+    /// signature so retried checkpoint replays cannot double-record.
+    pub fn record_quarantine(&mut self, signature: String, cv: CapacityVector) {
+        if self.quarantined.iter().any(|(s, _)| *s == signature) {
+            return;
+        }
+        self.quarantined.push((signature, cv));
+    }
+
+    /// Quarantine check: `Some(Quarantined)` when `signature` is itself
+    /// quarantined, or when `cv` matches / is more aggressive than a
+    /// quarantined candidate's capacity (the same §5.1 dominance rule,
+    /// applied to evaluation failures instead of accuracy failures).
+    pub fn quarantine_verdict(
+        &self,
+        signature: &str,
+        cv: &CapacityVector,
+    ) -> Option<FilterVerdict> {
+        let hit = self.quarantined.iter().any(|(s, q)| {
+            s == signature || cv == q || cv.more_aggressive_than(q)
+        });
+        hit.then_some(FilterVerdict::Quarantined)
     }
 
     /// Records a candidate that failed to meet the accuracy target.
@@ -244,6 +301,51 @@ mod tests {
     fn rule_filter_never_skips_on_empty() {
         let f = CapacityRuleFilter::new();
         assert!(!f.should_skip(&cv(10, vec![10], vec![10], 0)));
+    }
+
+    #[test]
+    fn quarantine_matches_signature_and_capacity() {
+        let mut f = CapacityRuleFilter::new();
+        assert_eq!(f.quarantine_verdict("g1", &cv(10, vec![10], vec![10], 0)), None);
+        f.record_quarantine("g1".into(), cv(100, vec![60, 70], vec![40, 50], 20));
+        // Same signature, regardless of capacity.
+        assert_eq!(
+            f.quarantine_verdict("g1", &cv(999, vec![900], vec![900], 0)),
+            Some(FilterVerdict::Quarantined)
+        );
+        // Different signature, identical capacity.
+        assert_eq!(
+            f.quarantine_verdict("g2", &cv(100, vec![60, 70], vec![40, 50], 20)),
+            Some(FilterVerdict::Quarantined)
+        );
+        // Different signature, more aggressive sharing.
+        assert_eq!(
+            f.quarantine_verdict("g3", &cv(80, vec![50, 60], vec![20, 30], 30)),
+            Some(FilterVerdict::Quarantined)
+        );
+        // Less aggressive: passes.
+        assert_eq!(
+            f.quarantine_verdict("g4", &cv(120, vec![70, 80], vec![60, 70], 10)),
+            None
+        );
+        // Quarantine never leaks into the accuracy-failure rule.
+        assert!(!f.should_skip(&cv(100, vec![60, 70], vec![40, 50], 20)));
+    }
+
+    #[test]
+    fn quarantine_is_idempotent_and_checkpointable() {
+        let mut f = CapacityRuleFilter::new();
+        f.record_quarantine("g1".into(), cv(10, vec![10], vec![10], 0));
+        f.record_quarantine("g1".into(), cv(10, vec![10], vec![10], 0));
+        assert_eq!(f.quarantined().len(), 1);
+        let restored = CapacityRuleFilter::from_parts(
+            f.failures().to_vec(),
+            f.quarantined().to_vec(),
+        );
+        assert_eq!(
+            restored.quarantine_verdict("g1", &cv(10, vec![10], vec![10], 0)),
+            Some(FilterVerdict::Quarantined)
+        );
     }
 
     #[test]

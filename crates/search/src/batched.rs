@@ -19,12 +19,13 @@ use crate::checkpoint::{
 use crate::driver::{propose_candidate, Objective, SearchConfig};
 use crate::evaluator::EvalMode;
 use crate::history::{Elite, History};
-use crate::parallel::evaluate_batch;
+use crate::parallel::try_evaluate_batch;
 use crate::policy::{PolicyKind, SimulatedAnnealing};
 use gmorph_graph::{AbsGraph, CapacityVector, WeightStore};
 use gmorph_perf::estimator::{estimate_latency_ms, Backend};
 use gmorph_perf::filter::CapacityRuleFilter;
 use gmorph_perf::VirtualClock;
+use gmorph_tensor::error;
 use gmorph_tensor::rng::Rng;
 use gmorph_tensor::{Result, TensorError};
 
@@ -144,7 +145,10 @@ pub fn run_search_batched_checkpointed(
                 policy.restore_last_drop(snap.state.last_drop);
                 history =
                     History::from_parts(snap.state.evaluated, snap.state.elites, policy.max_elites);
-                rule_filter = CapacityRuleFilter::from_failures(snap.state.failures);
+                rule_filter = CapacityRuleFilter::from_parts(
+                    snap.state.failures,
+                    snap.state.quarantined,
+                );
                 clock.restore_seconds(snap.state.clock_seconds);
                 best_mini = snap.best_mini;
                 best_paper = snap.best_paper;
@@ -217,14 +221,24 @@ pub fn run_search_batched_checkpointed(
                 }
                 continue;
             }
-            history.record_evaluated(signature);
-            if cfg.rule_filter {
-                let cv = CapacityVector::of(&cand_mini)?;
-                if rule_filter.should_skip(&cv) {
-                    skipped += 1;
-                    clock.charge_overhead(2.0);
-                    continue;
+            history.record_evaluated(signature.clone());
+            let cv = CapacityVector::of(&cand_mini)?;
+            // Quarantine is always consulted: its entries record
+            // *evaluation failures*, independent of the `rule_filter`
+            // accuracy heuristic.
+            if rule_filter.quarantine_verdict(&signature, &cv).is_some() {
+                skipped += 1;
+                clock.charge_overhead(2.0);
+                gmorph_telemetry::counter!("filter.rule.quarantined");
+                if skipped > batch_size * 4 {
+                    break;
                 }
+                continue;
+            }
+            if cfg.rule_filter && rule_filter.should_skip(&cv) {
+                skipped += 1;
+                clock.charge_overhead(2.0);
+                continue;
             }
             batch.push((cand_mini, cand_paper, base_weights));
         }
@@ -237,15 +251,47 @@ pub fn run_search_batched_checkpointed(
             .iter()
             .map(|(m, _, w)| (m.clone(), w.clone()))
             .collect();
-        let evals = evaluate_batch(
+        // Fault injection (GMORPH_FAULT) maps its candidate iteration
+        // onto the round holding it; the whole round's batch is poisoned,
+        // which is the coarsest containment unit here anyway.
+        let mut round_cfg = cfg.finetune.clone();
+        if let Some(fault) = cfg.supervisor.fault {
+            let lo = (round - 1) * batch_size + 1;
+            if fault.at_iter >= lo && fault.at_iter <= round * batch_size {
+                round_cfg.inject = Some(fault.kind);
+            }
+        }
+        let evals = try_evaluate_batch(
             &inputs,
             mode,
-            &cfg.finetune,
+            &round_cfg,
             cfg.seed ^ (round as u64) << 16,
-        )?;
+        );
 
-        // Fold results back into the shared state, sequentially.
-        for ((cand_mini, cand_paper, _), ev) in batch.into_iter().zip(evals) {
+        // Fold results back into the shared state, sequentially. A failed
+        // candidate is contained: classified, quarantined, and scored as
+        // a rejection — the rest of the round proceeds.
+        for ((cand_mini, cand_paper, _), outcome) in batch.into_iter().zip(evals) {
+            let ev = match outcome {
+                Ok(ev) => ev,
+                Err(err) => {
+                    let kind = error::classify(&err);
+                    clock.charge_overhead(2.0);
+                    policy.observe_drop(1.0);
+                    rule_filter
+                        .record_quarantine(cand_mini.signature(), CapacityVector::of(&cand_mini)?);
+                    gmorph_telemetry::counter!("search.failed");
+                    gmorph_telemetry::counter!("eval.quarantine");
+                    gmorph_telemetry::point!(
+                        "eval.quarantine",
+                        round = round,
+                        kind = kind.as_str(),
+                        signature = cand_mini.signature().as_str(),
+                        error = err.to_string().as_str()
+                    );
+                    continue;
+                }
+            };
             let paper_flops = cand_paper.flops()?;
             clock.charge_finetune(paper_flops, ev.result.epochs_run);
             clock.charge_eval(paper_flops * ev.result.records.len().max(1) as u64);
@@ -296,6 +342,7 @@ pub fn run_search_batched_checkpointed(
                     clock_seconds: clock.seconds(),
                     wall_offset: 0.0,
                     failures: rule_filter.failures().to_vec(),
+                    quarantined: rule_filter.quarantined().to_vec(),
                     evaluated: history
                         .evaluated_signatures()
                         .into_iter()

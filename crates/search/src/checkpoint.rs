@@ -32,8 +32,9 @@ pub use gmorph_tensor::checkpoint::{
 pub const SEARCH_KIND: &str = "search";
 /// Payload kind of batched-search snapshots.
 pub const BATCHED_KIND: &str = "batched";
-/// Schema version of both search snapshot payloads.
-pub const SEARCH_SCHEMA: u32 = 1;
+/// Schema version of both search snapshot payloads. v2 added quarantine
+/// entries to the filter section and failed/quarantined outcome counters.
+pub const SEARCH_SCHEMA: u32 = 2;
 
 /// Fingerprints a search configuration plus its input graphs.
 ///
@@ -233,6 +234,9 @@ pub struct LoopState {
     pub wall_offset: f64,
     /// Capacity-rule failures, in insertion order.
     pub failures: Vec<CapacityVector>,
+    /// Quarantined evaluation failures: (graph signature, capacity), in
+    /// insertion order.
+    pub quarantined: Vec<(String, CapacityVector)>,
     /// Evaluated-candidate signatures (sorted; membership-only set).
     pub evaluated: Vec<String>,
     /// Elite list, in insertion order (the policy indexes into it).
@@ -257,6 +261,11 @@ impl LoopState {
         w.put_u32(self.failures.len() as u32);
         for f in &self.failures {
             put_capacity(&mut w, f);
+        }
+        w.put_u32(self.quarantined.len() as u32);
+        for (sig, cv) in &self.quarantined {
+            w.put_str(sig);
+            put_capacity(&mut w, cv);
         }
         env.push("filter", w.into_bytes());
 
@@ -290,6 +299,12 @@ impl LoopState {
         for _ in 0..nf {
             failures.push(get_capacity(&mut r)?);
         }
+        let nq = r.get_u32()? as usize;
+        let mut quarantined = Vec::with_capacity(nq.min(4096));
+        for _ in 0..nq {
+            let sig = r.get_str()?;
+            quarantined.push((sig, get_capacity(&mut r)?));
+        }
 
         let mut r = ByteReader::new(env.section("history")?);
         let ns = r.get_len(1 << 24)?;
@@ -311,6 +326,7 @@ impl LoopState {
             clock_seconds,
             wall_offset,
             failures,
+            quarantined,
             evaluated,
             elites,
         })
@@ -332,6 +348,10 @@ pub struct SearchSnapshot {
     pub early_terminated: usize,
     /// Duplicates skipped so far.
     pub duplicates: usize,
+    /// Candidates that failed every permitted attempt so far.
+    pub failed: usize,
+    /// Candidates skipped by quarantine so far.
+    pub quarantined_count: usize,
     /// Per-iteration trace so far.
     pub trace: Vec<TraceRecord>,
 }
@@ -355,6 +375,8 @@ impl SearchSnapshot {
         w.put_u64(self.rule_filtered as u64);
         w.put_u64(self.early_terminated as u64);
         w.put_u64(self.duplicates as u64);
+        w.put_u64(self.failed as u64);
+        w.put_u64(self.quarantined_count as u64);
         env.push("counters", w.into_bytes());
 
         let mut w = ByteWriter::new();
@@ -393,6 +415,8 @@ impl SearchSnapshot {
         let rule_filtered = r.get_u64()? as usize;
         let early_terminated = r.get_u64()? as usize;
         let duplicates = r.get_u64()? as usize;
+        let failed = r.get_u64()? as usize;
+        let quarantined_count = r.get_u64()? as usize;
 
         let mut r = ByteReader::new(env.section("trace")?);
         let trace = get_trace(&mut r)?;
@@ -404,6 +428,8 @@ impl SearchSnapshot {
             rule_filtered,
             early_terminated,
             duplicates,
+            failed,
+            quarantined_count,
             trace,
         })
     }
@@ -606,6 +632,15 @@ mod tests {
                     per_task_specific: vec![4, 5],
                     shared: 2,
                 }],
+                quarantined: vec![(
+                    "sig-q".to_string(),
+                    CapacityVector {
+                        total: 8,
+                        per_task_total: vec![5, 6],
+                        per_task_specific: vec![3, 4],
+                        shared: 2,
+                    },
+                )],
                 evaluated: vec!["a".to_string(), "b".to_string()],
                 elites: vec![Elite {
                     mini: g.clone(),
@@ -628,6 +663,8 @@ mod tests {
             rule_filtered: 1,
             early_terminated: 0,
             duplicates: 2,
+            failed: 1,
+            quarantined_count: 1,
             trace: vec![TraceRecord {
                 iter: 1,
                 status: CandidateStatus::Evaluated,
@@ -657,6 +694,7 @@ mod tests {
             snap.state.clock_seconds.to_bits()
         );
         assert_eq!(back.state.failures, snap.state.failures);
+        assert_eq!(back.state.quarantined, snap.state.quarantined);
         assert_eq!(back.state.evaluated, snap.state.evaluated);
         assert_eq!(back.state.elites.len(), 1);
         assert_eq!(
@@ -665,6 +703,8 @@ mod tests {
         );
         assert_eq!(back.best.latency_ms.to_bits(), snap.best.latency_ms.to_bits());
         assert_eq!(back.duplicates, 2);
+        assert_eq!(back.failed, 1);
+        assert_eq!(back.quarantined_count, 1);
         assert_eq!(back.trace.len(), 1);
         assert_eq!(back.trace[0].status, CandidateStatus::Evaluated);
     }

@@ -20,6 +20,7 @@ use crate::checkpoint::{
 use crate::evaluator::EvalMode;
 use crate::history::{Elite, History};
 use crate::policy::{PolicyKind, SimulatedAnnealing};
+use crate::supervisor::{self, FailureReport, SupervisorConfig};
 use gmorph_graph::pairs::{pairs_with, PairPolicy};
 use gmorph_graph::{mutation, AbsGraph, CapacityVector, NodeId, WeightStore};
 use gmorph_perf::accuracy::FinetuneConfig;
@@ -66,6 +67,10 @@ pub struct SearchConfig {
     pub virtual_throughput: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Candidate-evaluation supervision: deadlines, retry/backoff, fault
+    /// injection (see [`crate::supervisor`]). The default is inert for
+    /// healthy candidates, so clean runs stay bit-identical.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for SearchConfig {
@@ -82,6 +87,7 @@ impl Default for SearchConfig {
             virtual_samples: 20_000,
             virtual_throughput: gmorph_perf::clock::DEFAULT_THROUGHPUT,
             seed: 0,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -99,6 +105,10 @@ pub enum CandidateStatus {
     TerminatedEarly,
     /// No legal mutation was found this round.
     NoMutation,
+    /// Evaluation failed every permitted attempt (classified, rejected).
+    Failed,
+    /// Skipped before evaluation: matched a quarantined failure.
+    Quarantined,
 }
 
 impl CandidateStatus {
@@ -110,6 +120,8 @@ impl CandidateStatus {
             CandidateStatus::RuleFiltered => "rule_filtered",
             CandidateStatus::TerminatedEarly => "terminated_early",
             CandidateStatus::NoMutation => "no_mutation",
+            CandidateStatus::Failed => "failed",
+            CandidateStatus::Quarantined => "quarantined",
         }
     }
 
@@ -121,6 +133,8 @@ impl CandidateStatus {
             "rule_filtered" => CandidateStatus::RuleFiltered,
             "terminated_early" => CandidateStatus::TerminatedEarly,
             "no_mutation" => CandidateStatus::NoMutation,
+            "failed" => CandidateStatus::Failed,
+            "quarantined" => CandidateStatus::Quarantined,
             _ => return None,
         })
     }
@@ -192,6 +206,10 @@ pub struct SearchResult {
     pub early_terminated: usize,
     /// Duplicate candidates skipped.
     pub duplicates: usize,
+    /// Candidates that failed every permitted evaluation attempt.
+    pub failed: usize,
+    /// Candidates skipped because they matched a quarantined failure.
+    pub quarantined: usize,
 }
 
 struct Base<'a> {
@@ -287,6 +305,8 @@ pub fn run_search_checkpointed(
     let mut rule_filtered = 0usize;
     let mut early_terminated = 0usize;
     let mut duplicates = 0usize;
+    let mut failed = 0usize;
+    let mut quarantined = 0usize;
 
     // Resume: restore the newest valid snapshot whose fingerprint matches
     // this exact config + input graphs, then continue from its iteration.
@@ -300,13 +320,18 @@ pub fn run_search_checkpointed(
                 policy.restore_last_drop(snap.state.last_drop);
                 history =
                     History::from_parts(snap.state.evaluated, snap.state.elites, policy.max_elites);
-                rule_filter = CapacityRuleFilter::from_failures(snap.state.failures);
+                rule_filter = CapacityRuleFilter::from_parts(
+                    snap.state.failures,
+                    snap.state.quarantined,
+                );
                 clock.restore_seconds(snap.state.clock_seconds);
                 best = snap.best;
                 evaluated = snap.evaluated_count;
                 rule_filtered = snap.rule_filtered;
                 early_terminated = snap.early_terminated;
                 duplicates = snap.duplicates;
+                failed = snap.failed;
+                quarantined = snap.quarantined_count;
                 trace = snap.trace;
                 start_iter = snap.state.next_iter;
                 wall_offset = snap.state.wall_offset;
@@ -425,7 +450,7 @@ pub fn run_search_checkpointed(
             );
             break 'body;
         }
-        history.record_evaluated(signature);
+        history.record_evaluated(signature.clone());
 
         let cand_latency = estimate_latency_ms(&cand_paper, Backend::Eager)?;
         let cand_objective = match cfg.objective {
@@ -433,8 +458,41 @@ pub fn run_search_checkpointed(
             Objective::Flops => cand_paper.flops()? as f64,
         };
 
-        // Rule-based filtering (§5.1) before any fine-tuning.
+        // Quarantine check: always on (independent of `rule_filter`),
+        // because quarantine entries record *evaluation failures* — a
+        // candidate matching one would fail the same way again. The §5.1
+        // dominance rule applies: an equal or more aggressive merge of a
+        // quarantined capacity is skipped too.
         let capacity = CapacityVector::of(&cand_mini)?;
+        if let Some(verdict) = rule_filter.quarantine_verdict(&signature, &capacity) {
+            quarantined += 1;
+            clock.charge_overhead(2.0);
+            trace.push(record(
+                iter,
+                CandidateStatus::Quarantined,
+                elite_pick.is_some(),
+                f32::NAN,
+                false,
+                cand_latency,
+                &best,
+                0,
+                &clock,
+                wall_start,
+                wall_offset,
+            ));
+            gmorph_telemetry::counter!("search.quarantine_skipped");
+            gmorph_telemetry::counter!("filter.rule.quarantined");
+            emit_iter(
+                trace.last().unwrap(),
+                temperature,
+                verdict.as_str(),
+                cand_nodes,
+                cand_rescales,
+            );
+            break 'body;
+        }
+
+        // Rule-based filtering (§5.1) before any fine-tuning.
         let filter_verdict = if cfg.rule_filter {
             rule_filter.verdict(&capacity)
         } else {
@@ -470,14 +528,93 @@ pub fn run_search_checkpointed(
             break 'body;
         }
 
-        // Step 3: evaluate (fine-tune) the candidate.
+        // Step 3: evaluate (fine-tune) the candidate, supervised. A
+        // failing candidate is retried (transient kinds only), then
+        // classified, quarantined, and scored as a rejected SA step —
+        // never an aborted run.
         let noise_salt = cfg.seed.wrapping_mul(1_000_003) ^ iter as u64;
-        let evaluation =
-            mode.evaluate(&cand_mini, base.weights, &cfg.finetune, &mut rng, noise_salt)?;
+        let clock_before = clock.seconds();
+        let outcome = supervisor::evaluate_supervised(
+            mode,
+            &cand_mini,
+            base.weights,
+            &cfg.finetune,
+            &cfg.supervisor,
+            cfg.seed,
+            iter,
+            &mut rng,
+            noise_salt,
+        );
+        // Charge the virtual clock, then apply the deterministic
+        // virtual-clock deadline: a candidate whose fine-tuning cost blew
+        // the per-candidate budget is a timeout even if it converged.
+        let outcome = match outcome {
+            Ok(evaluation) => {
+                let paper_flops = cand_paper.flops()?;
+                clock.charge_finetune(paper_flops, evaluation.result.epochs_run);
+                clock.charge_eval(paper_flops * evaluation.result.records.len().max(1) as u64);
+                let spent_hours = (clock.seconds() - clock_before) / 3600.0;
+                match cfg.supervisor.virtual_deadline_hours {
+                    Some(limit) if spent_hours > limit => Err(FailureReport {
+                        kind: gmorph_tensor::FailureKind::Timeout,
+                        attempts: 1,
+                        message: format!(
+                            "virtual cost {spent_hours:.3}h exceeds the \
+                             {limit:.3}h per-candidate budget"
+                        ),
+                    }),
+                    _ => Ok(evaluation),
+                }
+            }
+            Err(report) => {
+                // Failed attempts still consumed search time.
+                clock.charge_overhead(2.0 * report.attempts as f64);
+                Err(report)
+            }
+        };
+        let evaluation = match outcome {
+            Ok(evaluation) => evaluation,
+            Err(report) => {
+                failed += 1;
+                rule_filter.record_quarantine(signature.clone(), capacity.clone());
+                // A failed candidate reads as maximally bad to the SA
+                // policy: elites stay preferable and the temperature
+                // schedule sees a rejection, not a hole.
+                policy.observe_drop(1.0);
+                gmorph_telemetry::counter!("search.failed");
+                gmorph_telemetry::counter!("eval.quarantine");
+                gmorph_telemetry::point!(
+                    "eval.quarantine",
+                    iter = iter,
+                    kind = report.kind.as_str(),
+                    attempts = report.attempts,
+                    signature = signature.as_str(),
+                    error = report.message.as_str()
+                );
+                trace.push(record(
+                    iter,
+                    CandidateStatus::Failed,
+                    elite_pick.is_some(),
+                    f32::NAN,
+                    false,
+                    cand_latency,
+                    &best,
+                    0,
+                    &clock,
+                    wall_start,
+                    wall_offset,
+                ));
+                emit_iter(
+                    trace.last().unwrap(),
+                    temperature,
+                    report.kind.as_str(),
+                    cand_nodes,
+                    cand_rescales,
+                );
+                break 'body;
+            }
+        };
         evaluated += 1;
-        let paper_flops = cand_paper.flops()?;
-        clock.charge_finetune(paper_flops, evaluation.result.epochs_run);
-        clock.charge_eval(paper_flops * evaluation.result.records.len().max(1) as u64);
         policy.observe_drop(evaluation.result.final_drop.max(0.0));
         if evaluation.result.terminated_early {
             early_terminated += 1;
@@ -563,6 +700,7 @@ pub fn run_search_checkpointed(
                     clock_seconds: clock.seconds(),
                     wall_offset: wall_offset + wall_start.elapsed().as_secs_f64(),
                     failures: rule_filter.failures().to_vec(),
+                    quarantined: rule_filter.quarantined().to_vec(),
                     evaluated: history
                         .evaluated_signatures()
                         .into_iter()
@@ -575,6 +713,8 @@ pub fn run_search_checkpointed(
                 rule_filtered,
                 early_terminated,
                 duplicates,
+                failed,
+                quarantined_count: quarantined,
                 trace: trace.clone(),
             };
             mgr.tick(iter, snapshot.encode()?)?;
@@ -592,6 +732,8 @@ pub fn run_search_checkpointed(
         rule_filtered = rule_filtered,
         early_terminated = early_terminated,
         duplicates = duplicates,
+        failed = failed,
+        quarantined = quarantined,
         best_latency_ms = best.latency_ms,
         original_latency_ms = original_latency_ms,
         speedup = original_latency_ms / best.latency_ms,
@@ -609,6 +751,8 @@ pub fn run_search_checkpointed(
         rule_filtered,
         early_terminated,
         duplicates,
+        failed,
+        quarantined,
     })
 }
 

@@ -11,6 +11,9 @@
 //!   predictive filtering and dual-scale (mini + paper) graph tracking,
 //! - [`parallel`]: batch candidate evaluation on worker threads (§7's
 //!   "sampling multiple models in parallel" extension),
+//! - [`supervisor`]: resilient candidate evaluation — catch-unwind
+//!   containment, deadlines, retry with LR backoff and reseeded init, and
+//!   failure classification feeding quarantine (DESIGN.md §13),
 //! - [`persist`]: JSONL persistence of search traces (the Figure 8 run
 //!   artifacts),
 //! - [`checkpoint`]: crash-safe checkpoint/resume — versioned, checksummed
@@ -25,6 +28,7 @@ pub mod history;
 pub mod parallel;
 pub mod persist;
 pub mod policy;
+pub mod supervisor;
 
 pub use batched::{run_search_batched, run_search_batched_checkpointed, BatchedResult};
 pub use checkpoint::{CheckpointManager, CheckpointOptions, CrashKind};
@@ -33,5 +37,6 @@ pub use driver::{
 };
 pub use persist::{load_trace, save_trace, TraceMeta};
 pub use evaluator::{EvalMode, RealContext, SurrogateContext};
+pub use supervisor::{FailureReport, SupervisorConfig};
 pub use history::{Elite, History};
 pub use policy::{PolicyKind, SimulatedAnnealing};

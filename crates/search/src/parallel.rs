@@ -19,6 +19,7 @@ use crate::evaluator::{EvalMode, Evaluation};
 use gmorph_graph::{AbsGraph, WeightStore};
 use gmorph_perf::accuracy::FinetuneConfig;
 use gmorph_tensor::engine;
+use gmorph_tensor::error;
 use gmorph_tensor::rng::Rng;
 use gmorph_tensor::{Result, TensorError};
 
@@ -33,19 +34,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// Evaluates candidates concurrently, preserving input order.
+/// Evaluates candidates concurrently, preserving input order, and returns
+/// one outcome *per candidate*.
 ///
 /// Each candidate gets an independent RNG derived from `seed` and its
 /// index, so results match a sequential run with the same derivation. A
-/// panicking candidate does not abort the rest of the batch: every other
-/// candidate still runs, and the error names the panicking candidate's
-/// index so a bad mutation can be traced.
-pub fn evaluate_batch(
+/// panicking candidate does not abort the rest of the batch: it is caught
+/// at this boundary and classified as a [`error::FailureKind::Panic`]
+/// failure in its own slot, so callers (the batched driver) can contain
+/// individual failures instead of aborting the round.
+pub fn try_evaluate_batch(
     candidates: &[(AbsGraph, WeightStore)],
     mode: &EvalMode,
     cfg: &FinetuneConfig,
     seed: u64,
-) -> Result<Vec<Evaluation>> {
+) -> Vec<Result<Evaluation>> {
     let outcomes = engine::parallel_map(candidates.len(), |i| {
         let (graph, weights) = &candidates[i];
         catch_unwind(AssertUnwindSafe(|| {
@@ -59,16 +62,63 @@ pub fn evaluate_batch(
         .enumerate()
         .map(|(i, outcome)| match outcome {
             Ok(result) => result,
-            Err(payload) => Err(TensorError::InvalidArgument {
-                op: "parallel::evaluate_batch",
-                msg: format!(
+            Err(payload) => Err(error::panic_failure(
+                "parallel::evaluate_batch",
+                format!(
                     "candidate {i} of {} panicked during evaluation: {}",
                     candidates.len(),
                     panic_message(payload.as_ref())
                 ),
-            }),
+            )),
         })
         .collect()
+}
+
+/// All-or-nothing wrapper over [`try_evaluate_batch`].
+///
+/// When several candidates fail, the error aggregates *every* failing
+/// index and message into one structured report (not first-wins), so a
+/// multi-candidate failure is fully diagnosable from the single error.
+pub fn evaluate_batch(
+    candidates: &[(AbsGraph, WeightStore)],
+    mode: &EvalMode,
+    cfg: &FinetuneConfig,
+    seed: u64,
+) -> Result<Vec<Evaluation>> {
+    let mut ok = Vec::with_capacity(candidates.len());
+    let mut failures: Vec<(usize, TensorError)> = Vec::new();
+    for (i, outcome) in try_evaluate_batch(candidates, mode, cfg, seed)
+        .into_iter()
+        .enumerate()
+    {
+        match outcome {
+            Ok(eval) => ok.push(eval),
+            Err(err) => failures.push((i, err)),
+        }
+    }
+    match failures.len() {
+        0 => Ok(ok),
+        1 => Err(failures.remove(0).1),
+        n => {
+            let indices: Vec<String> =
+                failures.iter().map(|(i, _)| i.to_string()).collect();
+            let detail: Vec<String> =
+                failures.iter().map(|(i, e)| format!("[{i}] {e}")).collect();
+            // The aggregate keeps the first failure's classification; every
+            // individual classification is preserved in the detail list.
+            let kind = error::classify(&failures[0].1);
+            Err(TensorError::Failed {
+                kind,
+                op: "parallel::evaluate_batch",
+                msg: format!(
+                    "{n} of {} candidates failed (indices {}): {}",
+                    candidates.len(),
+                    indices.join(", "),
+                    detail.join("; ")
+                ),
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +193,33 @@ mod tests {
         for (a, b) in single.iter().zip(multi.iter()) {
             assert_eq!(a.result.final_drop, b.result.final_drop);
             assert_eq!(a.result.epochs_run, b.result.epochs_run);
+        }
+    }
+
+    #[test]
+    fn multi_panic_error_names_every_failing_index() {
+        let (candidates, mode) = test_mode_and_candidates();
+        // Injected panic poisons every candidate in the batch: the
+        // aggregate error must list all four indices, not just the first.
+        let cfg = FinetuneConfig {
+            max_epochs: 10,
+            eval_every: 1,
+            target_drop: 0.02,
+            inject: Some(gmorph_tensor::FaultKind::PanicEval),
+            ..Default::default()
+        };
+        let err = evaluate_batch(&candidates, &mode, &cfg, 7).unwrap_err();
+        assert_eq!(error::classify(&err), gmorph_tensor::FailureKind::Panic);
+        let msg = err.to_string();
+        for i in 0..candidates.len() {
+            assert!(msg.contains(&format!("[{i}]")), "index {i} missing: {msg}");
+        }
+        // Per-candidate outcomes carry one classified failure each.
+        let outcomes = try_evaluate_batch(&candidates, &mode, &cfg, 7);
+        assert_eq!(outcomes.len(), candidates.len());
+        for o in outcomes {
+            let e = o.unwrap_err();
+            assert_eq!(error::classify(&e), gmorph_tensor::FailureKind::Panic);
         }
     }
 

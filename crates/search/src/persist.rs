@@ -37,6 +37,10 @@ pub struct TraceMeta {
     pub early_terminated: usize,
     /// Duplicate candidates skipped.
     pub duplicates: usize,
+    /// Candidates that failed every permitted evaluation attempt.
+    pub failed: usize,
+    /// Candidates skipped by quarantine.
+    pub quarantined: usize,
 }
 
 impl TraceMeta {
@@ -53,6 +57,8 @@ impl TraceMeta {
             rule_filtered: result.rule_filtered,
             early_terminated: result.early_terminated,
             duplicates: result.duplicates,
+            failed: result.failed,
+            quarantined: result.quarantined,
         }
     }
 }
@@ -79,6 +85,8 @@ fn meta_line(meta: &TraceMeta) -> String {
         ("rule_filtered", Json::Int(meta.rule_filtered as i64)),
         ("early_terminated", Json::Int(meta.early_terminated as i64)),
         ("duplicates", Json::Int(meta.duplicates as i64)),
+        ("failed", Json::Int(meta.failed as i64)),
+        ("quarantined", Json::Int(meta.quarantined as i64)),
     ])
     .encode()
 }
@@ -152,6 +160,9 @@ fn parse_meta(doc: &Json) -> Result<TraceMeta, String> {
         rule_filtered: get_usize(doc, "rule_filtered")?,
         early_terminated: get_usize(doc, "early_terminated")?,
         duplicates: get_usize(doc, "duplicates")?,
+        // Pre-resilience traces lack these; read them as zero.
+        failed: get_usize(doc, "failed").unwrap_or(0),
+        quarantined: get_usize(doc, "quarantined").unwrap_or(0),
     })
 }
 
@@ -265,6 +276,8 @@ mod tests {
             rule_filtered: 0,
             early_terminated: 0,
             duplicates: 0,
+            failed: 0,
+            quarantined: 0,
         }
     }
 

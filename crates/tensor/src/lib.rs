@@ -26,6 +26,7 @@ pub mod buffer;
 pub mod checkpoint;
 pub mod conv;
 pub mod engine;
+pub mod error;
 pub mod gemm;
 pub mod interp;
 pub mod ops;
@@ -35,6 +36,7 @@ pub mod serialize;
 pub mod shape;
 pub mod tensor;
 
+pub use error::{FailureKind, FaultKind, FaultSpec, GmorphError};
 pub use shape::Shape;
 pub use tensor::Tensor;
 
@@ -83,6 +85,18 @@ pub enum TensorError {
     },
     /// Serialization / deserialization failure.
     Io(String),
+    /// A classified evaluation failure (see [`error::FailureKind`]): caught
+    /// panics, numeric-health violations, deadline and OOM-guard trips. The
+    /// classification rides the ordinary `Result` plumbing so the search
+    /// supervisor can decide retry vs quarantine without new signatures.
+    Failed {
+        /// Failure class.
+        kind: error::FailureKind,
+        /// Context string naming the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the failure.
+        msg: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -103,6 +117,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),
             TensorError::Io(msg) => write!(f, "io error: {msg}"),
+            TensorError::Failed { kind, op, msg } => {
+                write!(f, "{op}: [{}] {msg}", kind.as_str())
+            }
         }
     }
 }

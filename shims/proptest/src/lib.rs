@@ -152,7 +152,7 @@ pub mod test_runner {
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
 /// Skips the current case when its precondition does not hold. The real
@@ -194,6 +194,25 @@ macro_rules! prop_assert_eq {
                         stringify!($rhs),
                         l,
                         r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: `{}` != `{}`\n  both: {:?}",
+                        stringify!($lhs),
+                        stringify!($rhs),
+                        l
                     ));
                 }
             }

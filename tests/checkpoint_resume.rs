@@ -104,6 +104,8 @@ fn assert_same_result(a: &SearchResult, b: &SearchResult, what: &str) {
         "{what}: early_terminated"
     );
     assert_eq!(a.duplicates, b.duplicates, "{what}: duplicates");
+    assert_eq!(a.failed, b.failed, "{what}: failed");
+    assert_eq!(a.quarantined, b.quarantined, "{what}: quarantined");
     assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
     for (i, (x, y)) in a.trace.iter().zip(&b.trace).enumerate() {
         assert_eq!(x.iter, y.iter, "{what}: trace[{i}].iter");
@@ -372,6 +374,65 @@ fn resumed_teacher_training_reproduces_trajectory() {
     // The trained parameters themselves must match bit-for-bit.
     assert_eq!(model2.state_dict(), model_ref.state_dict());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Failure containment composes with crash/resume: a run whose candidate
+/// faulted (and was retried, then quarantined) can be killed around the
+/// retry boundary and resumed bit-identically — including the quarantine
+/// set and the failed/quarantined counters. Both runs carry the same
+/// fault configuration, mirroring a real flaky-candidate reproduction.
+#[test]
+fn resume_through_a_faulted_candidate_is_bit_identical() {
+    use gmorph::tensor::{FaultKind, FaultSpec};
+
+    let session = smoke_session(7);
+    let mode = session.eval_mode(AccuracyMode::Surrogate).unwrap();
+    let mut cfg = search_cfg(&session, 16);
+
+    // Find an iteration that actually evaluates, then poison it.
+    let clean = run_search_checkpointed(
+        &session.mini_graph,
+        &session.paper_graph,
+        &session.weights,
+        &mode,
+        &cfg,
+        None,
+    )
+    .unwrap();
+    let fault_iter = clean
+        .trace
+        .iter()
+        .find(|r| r.status == gmorph::search::driver::CandidateStatus::Evaluated)
+        .map(|r| r.iter)
+        .expect("clean run evaluated nothing: useless scenario");
+    cfg.supervisor.fault = Some(FaultSpec {
+        kind: FaultKind::NanLoss,
+        at_iter: fault_iter,
+    });
+
+    let reference = run_search_checkpointed(
+        &session.mini_graph,
+        &session.paper_graph,
+        &session.weights,
+        &mode,
+        &cfg,
+        None,
+    )
+    .unwrap();
+    assert_eq!(reference.failed, 1, "fault did not fire: useless scenario");
+
+    // Kill right at the faulted iteration (snapshot covers the retry
+    // exhaustion + quarantine) and one iteration after it.
+    for interrupt in [fault_iter, fault_iter + 1] {
+        let dir = scratch_dir(&format!("fault-i{interrupt}"));
+        let resumed = crash_and_resume(&session, &mode, &cfg, dir.clone(), interrupt);
+        assert_same_result(
+            &reference,
+            &resumed,
+            &format!("faulted interrupt={interrupt}"),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 /// A resume against a *different* configuration must not pick up the

@@ -332,6 +332,78 @@ proptest! {
     }
 }
 
+// --- Resilience invariants (DESIGN.md §13) ---
+
+use gmorph::nn::health::clip_scale;
+use gmorph::search::supervisor::retry_seed;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Global-norm clipping preserves gradient direction: the clip
+    /// factor is always a positive scalar, so the clipped gradient is a
+    /// positive multiple of the original, and its norm lands exactly on
+    /// the threshold. Norms at or below the threshold are untouched.
+    #[test]
+    fn clipping_preserves_gradient_direction(
+        grad in proptest::collection::vec(-1e3f32..1e3, 1..64),
+        max_norm in 1e-3f32..1e3,
+    ) {
+        let norm = grad.iter().map(|g| (*g as f64).powi(2)).sum::<f64>().sqrt() as f32;
+        match clip_scale(norm, max_norm) {
+            None => prop_assert!(norm <= max_norm),
+            Some(scale) => {
+                prop_assert!(norm > max_norm);
+                prop_assert!(scale > 0.0 && scale < 1.0, "scale {scale}");
+                let clipped: Vec<f32> = grad.iter().map(|g| g * scale).collect();
+                // Direction preserved: every component keeps its sign.
+                for (g, c) in grad.iter().zip(&clipped) {
+                    prop_assert!(g.signum() == c.signum() || *c == 0.0);
+                }
+                let new_norm = clipped
+                    .iter()
+                    .map(|g| (*g as f64).powi(2))
+                    .sum::<f64>()
+                    .sqrt() as f32;
+                prop_assert!(
+                    (new_norm - max_norm).abs() <= max_norm * 1e-3,
+                    "clipped norm {new_norm} vs threshold {max_norm}"
+                );
+            }
+        }
+    }
+
+    /// Retry RNG streams are disjoint from the search stream and from
+    /// each other: no (iteration, attempt) pair may reseed onto the
+    /// search stream (which would perturb replay determinism), and
+    /// distinct retry attempts must not share a stream.
+    #[test]
+    fn retry_streams_are_disjoint_from_search_stream(
+        seed in 0u64..u64::MAX,
+        iter_a in 0usize..10_000,
+        iter_b in 0usize..10_000,
+        attempt_a in 1usize..16,
+        attempt_b in 1usize..16,
+    ) {
+        let search_seed = seed ^ 0x5EA_4C4;
+        let rs_a = retry_seed(seed, iter_a, attempt_a);
+        let rs_b = retry_seed(seed, iter_b, attempt_b);
+        prop_assert_ne!(rs_a, search_seed);
+        prop_assert_ne!(rs_b, search_seed);
+        if (iter_a, attempt_a) != (iter_b, attempt_b) {
+            prop_assert_ne!(rs_a, rs_b);
+        }
+        // Disjoint seeds yield distinct streams, not just distinct seeds.
+        let mut search_rng = Rng::new(search_seed);
+        let mut retry_rng = Rng::new(rs_a);
+        let search_draws: Vec<u32> =
+            (0..4).map(|_| search_rng.below(u32::MAX as usize) as u32).collect();
+        let retry_draws: Vec<u32> =
+            (0..4).map(|_| retry_rng.below(u32::MAX as usize) as u32).collect();
+        prop_assert_ne!(search_draws, retry_draws);
+    }
+}
+
 #[test]
 fn serving_tasks_cover_every_head_path() {
     let g = b3_graph();
